@@ -1,0 +1,31 @@
+// Figure 1 reproduction: scatter of ACC and RA versus ASR on the CIFAR-10
+// stand-in for ALL defenses, across both architectures, every attack and
+// SPC setting. Emits one per-trial scatter point per line
+// (defense, attack, spc, trial, asr, acc, ra); the tables above each
+// scatter block are the aggregate view.
+//
+// Quick mode runs one trial per setting (the scatter needs points, not
+// tight error bars); BDPROTO_MODE=full matches the paper protocol.
+#include <cstdlib>
+
+#include "eval/table_bench.h"
+#include "util/env.h"
+
+int main() {
+  // One trial per point is enough for the scatter unless overridden.
+  if (!bd::env_int("BDPROTO_TRIALS") && !bd::full_mode()) {
+    setenv("BDPROTO_TRIALS", "1", 0);
+  }
+
+  for (const char* arch : {"preactresnet", "vgg"}) {
+    bd::eval::TableSpec spec;
+    spec.title = std::string("Figure 1 scatter: synthetic CIFAR-10, ") + arch;
+    spec.dataset = "cifar";
+    spec.arch = arch;
+    spec.attacks = {"badnet", "blended", "bpp", "lf"};
+    spec.defenses = {"ft", "fp", "nad", "clp", "ftsam", "anp", "gradprune"};
+    spec.scatter = true;
+    bd::eval::run_table(spec);
+  }
+  return 0;
+}

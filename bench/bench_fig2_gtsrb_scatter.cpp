@@ -1,0 +1,34 @@
+// Figure 2 reproduction: GTSRB stand-in, scatter of ACC and RA versus ASR
+// for the three strongest defenses (FT-SAM, ANP, Ours) across the
+// PreActResNet, VGG, EfficientNet and MobileNetV3 architectures.
+//
+// Quick mode keeps all four architectures but trims attacks to the patch
+// and blend families and runs one trial per setting; BDPROTO_MODE=full
+// runs the paper's full grid.
+#include <cstdlib>
+
+#include "eval/table_bench.h"
+#include "util/env.h"
+
+int main() {
+  if (!bd::env_int("BDPROTO_TRIALS") && !bd::full_mode()) {
+    setenv("BDPROTO_TRIALS", "1", 0);
+  }
+
+  const std::vector<std::string> attacks =
+      bd::full_mode() ? std::vector<std::string>{"badnet", "blended", "bpp", "lf"}
+                      : std::vector<std::string>{"badnet", "blended"};
+
+  for (const char* arch :
+       {"preactresnet", "vgg", "efficientnet", "mobilenet"}) {
+    bd::eval::TableSpec spec;
+    spec.title = std::string("Figure 2 scatter: synthetic GTSRB, ") + arch;
+    spec.dataset = "gtsrb";
+    spec.arch = arch;
+    spec.attacks = attacks;
+    spec.defenses = {"ftsam", "anp", "gradprune"};
+    spec.scatter = true;
+    bd::eval::run_table(spec);
+  }
+  return 0;
+}

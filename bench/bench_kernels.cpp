@@ -1,0 +1,105 @@
+// Kernel microbenchmarks (google-benchmark): matmul, conv forward/backward,
+// batchnorm and a full small-model training step. These establish the
+// engine throughput underlying every experiment in the paper reproduction.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "models/factory.h"
+#include "nn/layers.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+bd::Tensor random_tensor(const bd::Shape& shape, bd::Rng& rng) {
+  bd::Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  bd::Rng rng(1);
+  const bd::Tensor a = random_tensor({n, n}, rng);
+  const bd::Tensor b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bd::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  bd::Rng rng(2);
+  const bd::Tensor x = random_tensor({8, c, 16, 16}, rng);
+  const bd::Tensor w = random_tensor({c, c, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bd::conv2d_forward(x, w, bd::Tensor(), {1, 1}));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  bd::Rng rng(3);
+  const bd::Tensor x = random_tensor({8, c, 16, 16}, rng);
+  const bd::Tensor w = random_tensor({c, c, 3, 3}, rng);
+  const bd::Tensor go = random_tensor({8, c, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bd::conv2d_backward(x, w, false, go, {1, 1}));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_DepthwiseConv(benchmark::State& state) {
+  bd::Rng rng(4);
+  const bd::Tensor x = random_tensor({8, 32, 16, 16}, rng);
+  const bd::Tensor w = random_tensor({32, 1, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bd::depthwise_conv2d_forward(x, w, bd::Tensor(), {1, 1}));
+  }
+}
+BENCHMARK(BM_DepthwiseConv);
+
+void BM_ModelForward(benchmark::State& state) {
+  bd::Rng rng(5);
+  bd::models::ModelSpec spec;
+  spec.arch = "preactresnet";
+  spec.base_width = 8;
+  auto model = bd::models::make_model(spec, rng);
+  model->set_training(false);
+  const bd::Tensor x = random_tensor({16, 3, 16, 16}, rng);
+  bd::ag::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(bd::ag::Var(x)));
+  }
+}
+BENCHMARK(BM_ModelForward);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  bd::Rng rng(6);
+  bd::models::ModelSpec spec;
+  spec.arch = "preactresnet";
+  spec.base_width = 8;
+  auto model = bd::models::make_model(spec, rng);
+  model->set_training(true);
+  const bd::Tensor x = random_tensor({16, 3, 16, 16}, rng);
+  const std::vector<std::int64_t> labels(16, 1);
+  for (auto _ : state) {
+    model->zero_grad();
+    auto loss = bd::ag::cross_entropy(model->forward(bd::ag::Var(x)), labels);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+}
+BENCHMARK(BM_ModelTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

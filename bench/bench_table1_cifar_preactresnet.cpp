@@ -1,0 +1,18 @@
+// Table I reproduction: CIFAR-10 stand-in + PreActResNet.
+// All defenses x {BadNets, Blended, BPP, LF} x SPC settings, mean±std of
+// ACC / ASR / RA over independent trials.
+//
+// BDPROTO_MODE=full widens the sweep to the paper's SPC={2,10,100} and 5
+// trials; the quick default keeps the suite runnable on one core.
+#include "eval/table_bench.h"
+
+int main() {
+  bd::eval::TableSpec spec;
+  spec.title = "Table I: synthetic CIFAR-10, PreActResNet";
+  spec.dataset = "cifar";
+  spec.arch = "preactresnet";
+  spec.attacks = {"badnet", "blended", "bpp", "lf"};
+  spec.defenses = {"ft", "fp", "nad", "clp", "ftsam", "anp", "gradprune"};
+  bd::eval::run_table(spec);
+  return 0;
+}

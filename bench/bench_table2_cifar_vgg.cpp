@@ -1,0 +1,14 @@
+// Table II reproduction: CIFAR-10 stand-in + VGG+BN.
+// Same protocol as Table I on the plain-conv architecture.
+#include "eval/table_bench.h"
+
+int main() {
+  bd::eval::TableSpec spec;
+  spec.title = "Table II: synthetic CIFAR-10, VGG+BN";
+  spec.dataset = "cifar";
+  spec.arch = "vgg";
+  spec.attacks = {"badnet", "blended", "bpp", "lf"};
+  spec.defenses = {"ft", "fp", "nad", "clp", "ftsam", "anp", "gradprune"};
+  bd::eval::run_table(spec);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Differentiable operations over bd::ag::Var.
+//
+// Each op computes its value with the kernels in src/tensor and registers a
+// backward closure. Elementwise binaries broadcast (NumPy rules); their
+// backward reduces gradients back to the operand shapes, which is what lets
+// BatchNorm and squeeze-excite be expressed compositionally.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/conv.h"
+#include "tensor/pool.h"
+
+namespace bd::ag {
+
+// Elementwise binary (broadcasting).
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var div(const Var& a, const Var& b);
+
+// Elementwise with scalars.
+Var add_scalar(const Var& a, float s);
+Var mul_scalar(const Var& a, float s);
+
+// Elementwise unary.
+Var neg(const Var& a);
+Var exp(const Var& a);
+Var log(const Var& a);
+Var sqrt(const Var& a);
+Var abs(const Var& a);
+Var pow_scalar(const Var& a, float p);
+/// Clamp with pass-through gradient strictly inside [lo, hi].
+Var clamp(const Var& a, float lo, float hi);
+
+// Activations.
+Var relu(const Var& a);
+Var sigmoid(const Var& a);
+Var tanh(const Var& a);
+Var hardsigmoid(const Var& a);  // clamp(x+3, 0, 6) / 6
+Var hardswish(const Var& a);    // x * hardsigmoid(x)
+
+// Shape ops.
+Var reshape(const Var& a, Shape shape);
+/// (N,C,H,W) -> (N, C*H*W).
+Var flatten2d(const Var& a);
+
+// Reductions.
+Var reduce_sum(const Var& a, const std::vector<std::int64_t>& axes,
+               bool keepdim);
+Var reduce_mean(const Var& a, const std::vector<std::int64_t>& axes,
+                bool keepdim);
+Var sum_all(const Var& a);   // -> scalar
+Var mean_all(const Var& a);  // -> scalar
+
+// Linear algebra.
+Var matmul(const Var& a, const Var& b);
+
+// Convolutions; bias may be an undefined Var for bias-free layers.
+Var conv2d(const Var& input, const Var& weight, const Var& bias,
+           const Conv2dSpec& spec);
+Var depthwise_conv2d(const Var& input, const Var& weight, const Var& bias,
+                     const Conv2dSpec& spec);
+
+// Pooling.
+Var maxpool2d(const Var& input, const Pool2dSpec& spec);
+Var avgpool2d(const Var& input, const Pool2dSpec& spec);
+Var global_avgpool(const Var& input);
+
+// Classification losses. `logits` is (N, classes).
+Var log_softmax(const Var& logits);
+Var nll_loss(const Var& log_probs, const std::vector<std::int64_t>& labels);
+Var cross_entropy(const Var& logits, const std::vector<std::int64_t>& labels);
+/// Mean squared error between same-shape tensors.
+Var mse_loss(const Var& a, const Var& b);
+
+}  // namespace bd::ag

@@ -1,0 +1,90 @@
+// Reverse-mode automatic differentiation.
+//
+// A Var is a handle to a graph node holding a Tensor value and (after
+// backward()) a gradient. Operations in autograd/ops.h build the graph
+// dynamically; Var::backward() runs reverse topological accumulation.
+// The defense code consumes exactly these gradients: the paper's filter
+// score xi (Eq. 3) is the mean absolute entry of a conv weight's grad under
+// the unlearning loss (Eq. 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace bd::ag {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::vector<NodePtr> parents;
+  /// Propagates this node's grad into parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+  const char* op_name = "leaf";
+
+  /// Adds g to this node's grad (allocating it on first use).
+  void accumulate_grad(const Tensor& g);
+};
+
+/// True while gradient recording is disabled (see NoGradGuard).
+bool grad_recording_enabled();
+
+/// RAII scope that disables graph construction (inference / evaluation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class Var {
+ public:
+  /// Undefined handle.
+  Var() = default;
+
+  /// Leaf node wrapping `value`.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  /// Interior node produced by an op.
+  static Var op_result(Tensor value, std::vector<Var> parents,
+                       std::function<void(Node&)> backward_fn,
+                       const char* op_name);
+
+  bool defined() const { return static_cast<bool>(node_); }
+  const Tensor& value() const;
+  /// Mutable access for optimizers; only valid on leaves.
+  Tensor& mutable_value();
+  const Tensor& grad() const;
+  bool has_grad() const;
+  bool requires_grad() const;
+  bool is_leaf() const;
+  const Shape& shape() const { return value().shape(); }
+
+  /// Clears this node's gradient.
+  void zero_grad();
+
+  /// Runs reverse-mode accumulation from this (scalar) node.
+  void backward();
+
+  /// Leaf sharing this node's value tensor, detached from the graph.
+  Var detach() const;
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+}  // namespace bd::ag

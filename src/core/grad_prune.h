@@ -1,0 +1,83 @@
+// The paper's contribution (Sec. IV): backdoor unlearning through
+// gradient-based model pruning.
+//
+// Step 1 - gradient-based pruning (Sec. IV-B). The unlearning loss (Eq. 2)
+// is the cross-entropy of the defender's synthesized backdoor inputs
+// against their TRUE labels. Its gradient measures how much each parameter
+// subset contributes to the trigger -> target-class shortcut. Every round
+// scores each un-pruned conv filter with the mean absolute gradient
+//       xi_{l,i} = ||grad theta'_{l,i}||_1 / numel(theta'_{l,i})   (Eq. 3)
+// and prunes the arg-max filter (weights and bias zeroed, kept zero).
+// Rounds stop when the clean validation accuracy falls more than alpha
+// below its initial value, or the validation unlearning loss has not
+// improved for P_p consecutive rounds; the best-unlearning-loss state is
+// restored.
+//
+// Step 2 - fine-tuning (Sec. IV-C). The pruned model is re-trained on ALL
+// the defender's data - clean samples plus backdoor samples relabelled
+// with their correct classes - until the validation loss stops improving
+// for P_t epochs (best state kept). Pruned filters are re-zeroed after
+// every optimizer step.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "defense/defense.h"
+#include "nn/layers.h"
+
+namespace bd::core {
+
+struct GradPruneConfig {
+  /// Maximum tolerated drop in clean validation accuracy (the paper's
+  /// "predefined threshold alpha", expressed as an absolute drop).
+  double alpha = 0.10;
+  /// P_p: rounds without validation unlearning-loss improvement.
+  std::int64_t prune_patience = 10;
+  /// Safety cap on pruning rounds.
+  std::int64_t max_prune_rounds = 150;
+  /// P_t: fine-tuning early-stop patience (epochs).
+  std::int64_t finetune_patience = 5;
+  std::int64_t finetune_max_epochs = 50;
+  std::int64_t batch_size = 32;
+  float finetune_lr = 0.01f;
+  /// Skip the fine-tuning stage (used by the ablation benches).
+  bool finetune = true;
+  /// Skip the pruning stage (used by the ablation benches).
+  bool prune = true;
+};
+
+/// One scored filter: layer-order index of the conv and the filter index.
+struct FilterScore {
+  std::size_t conv_index;
+  std::int64_t filter;
+  double xi;
+};
+
+class GradPruneDefense : public defense::Defense {
+ public:
+  GradPruneDefense() = default;
+  explicit GradPruneDefense(GradPruneConfig config) : config_(config) {}
+
+  defense::DefenseResult apply(models::Classifier& model,
+                               const defense::DefenseContext& context) override;
+  std::string name() const override { return "gradprune"; }
+
+  const GradPruneConfig& config() const { return config_; }
+
+ private:
+  GradPruneConfig config_;
+};
+
+/// Accumulates the unlearning-loss gradient (Eq. 2) over `backdoor_true`
+/// (triggered images, true labels) and returns xi (Eq. 3) for every
+/// un-pruned filter of every standard conv layer, in layer order.
+std::vector<FilterScore> score_filters(models::Classifier& model,
+                                       const data::ImageDataset& backdoor_true,
+                                       std::int64_t batch_size);
+
+/// The filter with the highest xi, or nullopt when every filter is pruned.
+std::optional<FilterScore> best_filter_to_prune(
+    const std::vector<FilterScore>& scores);
+
+}  // namespace bd::core

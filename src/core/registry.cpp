@@ -1,0 +1,41 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "core/grad_prune.h"
+#include "defense/anp.h"
+#include "defense/clp.h"
+#include "defense/fine_pruning.h"
+#include "defense/finetune.h"
+#include "defense/ftsam.h"
+#include "defense/nad.h"
+
+namespace bd::core {
+
+std::unique_ptr<defense::Defense> make_defense(const std::string& name) {
+  if (name == "ft") return std::make_unique<defense::FinetuneDefense>();
+  if (name == "fp") return std::make_unique<defense::FinePruningDefense>();
+  if (name == "nad") return std::make_unique<defense::NadDefense>();
+  if (name == "clp") return std::make_unique<defense::ClpDefense>();
+  if (name == "ftsam") return std::make_unique<defense::FtSamDefense>();
+  if (name == "anp") return std::make_unique<defense::AnpDefense>();
+  if (name == "gradprune") return std::make_unique<GradPruneDefense>();
+  throw std::invalid_argument("make_defense: unknown defense '" + name + "'");
+}
+
+std::vector<std::string> known_defenses() {
+  return {"ft", "fp", "nad", "clp", "ftsam", "anp", "gradprune"};
+}
+
+std::string defense_display_name(const std::string& name) {
+  if (name == "ft") return "FT";
+  if (name == "fp") return "FP";
+  if (name == "nad") return "NAD";
+  if (name == "clp") return "CLP";
+  if (name == "ftsam") return "FT-SAM";
+  if (name == "anp") return "ANP";
+  if (name == "gradprune") return "Ours";
+  return name;
+}
+
+}  // namespace bd::core

@@ -1,0 +1,22 @@
+// Defense factory covering the baselines and the proposed approach.
+// Canonical names match the paper's tables: ft, fp, nad, clp, ftsam, anp,
+// and gradprune ("Ours").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace bd::core {
+
+std::unique_ptr<defense::Defense> make_defense(const std::string& name);
+
+/// Every name make_defense accepts, in the paper's table order.
+std::vector<std::string> known_defenses();
+
+/// Display label used in tables ("FT", "FP", ..., "Ours").
+std::string defense_display_name(const std::string& name);
+
+}  // namespace bd::core

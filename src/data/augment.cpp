@@ -1,0 +1,73 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bd::data {
+
+Tensor augment_image(const Tensor& image, const AugmentConfig& config,
+                     Rng& rng) {
+  if (image.dim() != 3) {
+    throw std::invalid_argument("augment_image: expected (C,H,W)");
+  }
+  Tensor out = image.clone();
+  const std::int64_t c = out.size(0), h = out.size(1), w = out.size(2);
+
+  if (config.hflip && rng.bernoulli(0.5)) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        float* row = out.data() + (ch * h + y) * w;
+        std::reverse(row, row + w);
+      }
+    }
+  }
+
+  if (config.crop_padding > 0) {
+    const std::int64_t p = config.crop_padding;
+    // Random offset in [-p, p] for each axis; out-of-bounds reads are zero.
+    const std::int64_t dy = rng.uniform_int(-p, p);
+    const std::int64_t dx = rng.uniform_int(-p, p);
+    Tensor shifted({c, h, w});
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        const std::int64_t sy = y + dy;
+        if (sy < 0 || sy >= h) continue;
+        for (std::int64_t x = 0; x < w; ++x) {
+          const std::int64_t sx = x + dx;
+          if (sx < 0 || sx >= w) continue;
+          shifted.data()[(ch * h + y) * w + x] =
+              out.data()[(ch * h + sy) * w + sx];
+        }
+      }
+    }
+    out = std::move(shifted);
+  }
+
+  if (config.brightness_jitter > 0.0f) {
+    const float scale = static_cast<float>(
+        rng.uniform(1.0 - config.brightness_jitter,
+                    1.0 + config.brightness_jitter));
+    float* p = out.data();
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      p[i] = std::min(1.0f, std::max(0.0f, p[i] * scale));
+    }
+  }
+  return out;
+}
+
+void augment_batch_inplace(Batch& batch, const AugmentConfig& config,
+                           Rng& rng) {
+  if (!config.enabled() || batch.size() == 0) return;
+  const Shape& s = batch.images.shape();  // (N,C,H,W)
+  const std::int64_t stride = s[1] * s[2] * s[3];
+  for (std::int64_t i = 0; i < s[0]; ++i) {
+    Tensor img({s[1], s[2], s[3]});
+    std::copy(batch.images.data() + i * stride,
+              batch.images.data() + (i + 1) * stride, img.data());
+    const Tensor augmented = augment_image(img, config, rng);
+    std::copy(augmented.data(), augmented.data() + stride,
+              batch.images.data() + i * stride);
+  }
+}
+
+}  // namespace bd::data

@@ -1,0 +1,35 @@
+// Training-time data augmentation (opt-in; the paper-scale benches train
+// without it, but downstream users hardening models will want it).
+//
+// The standard CIFAR-style recipe: random horizontal flip, random crop
+// with zero padding, and brightness jitter. All draws come from the
+// caller's Rng so augmented training stays deterministic per seed.
+#pragma once
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace bd::data {
+
+struct AugmentConfig {
+  bool hflip = false;
+  /// Pad by this many pixels on every side, then crop back at a random
+  /// offset (0 disables).
+  std::int64_t crop_padding = 0;
+  /// Multiply the image by U(1-j, 1+j) (0 disables); result clamped [0,1].
+  float brightness_jitter = 0.0f;
+
+  bool enabled() const {
+    return hflip || crop_padding > 0 || brightness_jitter > 0.0f;
+  }
+};
+
+/// Augmented copy of one (C,H,W) image.
+Tensor augment_image(const Tensor& image, const AugmentConfig& config,
+                     Rng& rng);
+
+/// Augments every image of a stacked batch in place.
+void augment_batch_inplace(Batch& batch, const AugmentConfig& config,
+                           Rng& rng);
+
+}  // namespace bd::data

@@ -1,0 +1,170 @@
+#include "data/synth.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bd::data {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+float clamp01(float x) { return std::min(1.0f, std::max(0.0f, x)); }
+
+// Ten visually distinct base colours for the CIFAR stand-in.
+constexpr float kPalette[10][3] = {
+    {0.85f, 0.20f, 0.20f}, {0.20f, 0.75f, 0.25f}, {0.20f, 0.35f, 0.85f},
+    {0.85f, 0.75f, 0.20f}, {0.70f, 0.25f, 0.75f}, {0.25f, 0.75f, 0.75f},
+    {0.90f, 0.50f, 0.15f}, {0.55f, 0.55f, 0.55f}, {0.35f, 0.20f, 0.10f},
+    {0.95f, 0.60f, 0.70f},
+};
+
+// Border colours for the GTSRB stand-in (red, blue, yellow like real signs).
+constexpr float kBorderColors[3][3] = {
+    {0.85f, 0.10f, 0.10f}, {0.10f, 0.25f, 0.85f}, {0.90f, 0.80f, 0.10f}};
+
+void add_noise(Tensor& img, float stddev, Rng& rng) {
+  float* p = img.data();
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    p[i] = clamp01(p[i] + static_cast<float>(rng.normal(0.0, stddev)));
+  }
+}
+
+}  // namespace
+
+Tensor render_synth_cifar_image(std::int64_t label, const SynthConfig& config,
+                                Rng& rng) {
+  const std::int64_t h = config.height, w = config.width;
+  Tensor img({3, h, w});
+
+  // Class signal: stripe orientation (unique per class) and frequency
+  // (label mod 3), both jittered per image. Colour is mostly a NUISANCE
+  // variable (random per image) with only a weak class hint, so one or two
+  // samples per class are not enough to relearn the task - the data regime
+  // the paper's SPC sweep probes.
+  const float theta = static_cast<float>(label) * kPi / 10.0f +
+                      static_cast<float>(rng.uniform(-0.08, 0.08));
+  const float freq = 2.0f + static_cast<float>(label % 3) +
+                     static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * kPi));
+  const float ct = std::cos(theta), st = std::sin(theta);
+
+  const float* hint = kPalette[label % 10];
+  float base[3];
+  for (int c = 0; c < 3; ++c) {
+    base[c] = static_cast<float>(rng.uniform(0.25, 0.75));
+  }
+
+  float* p = img.data();
+  for (std::int64_t c = 0; c < 3; ++c) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        const float u = static_cast<float>(x) / static_cast<float>(w);
+        const float v = static_cast<float>(y) / static_cast<float>(h);
+        const float stripe =
+            std::sin(2.0f * kPi * freq * (u * ct + v * st) + phase);
+        const float value = 0.45f * base[c] + 0.12f * hint[c] +
+                            0.30f * stripe + 0.12f;
+        p[(c * h + y) * w + x] = clamp01(value);
+      }
+    }
+  }
+  add_noise(img, config.noise_stddev, rng);
+  return img;
+}
+
+Tensor render_synth_gtsrb_image(std::int64_t label, const SynthConfig& config,
+                                Rng& rng) {
+  const std::int64_t h = config.height, w = config.width;
+  Tensor img({3, h, w});
+
+  const std::int64_t shape_id = label % 4;
+  const std::int64_t color_id = (label / 4) % 3;
+  const std::int64_t glyph_id = label / 12;  // 0..3 for 43 classes
+  const float* border = kBorderColors[color_id];
+
+  const float cx = 0.5f + static_cast<float>(rng.uniform(-0.06, 0.06));
+  const float cy = 0.5f + static_cast<float>(rng.uniform(-0.06, 0.06));
+  const float radius = 0.38f + static_cast<float>(rng.uniform(-0.04, 0.04));
+  const float glyph_theta = static_cast<float>(glyph_id) * kPi / 4.0f;
+  const float gct = std::cos(glyph_theta), gst = std::sin(glyph_theta);
+  const float glyph_freq = 3.0f + static_cast<float>(glyph_id);
+
+  // Signed "inside shape" predicate; s in [0,1]: 1 deep inside, 0 outside.
+  auto shape_coverage = [&](float u, float v) -> float {
+    const float dx = u - cx, dy = v - cy;
+    float d;
+    switch (shape_id) {
+      case 0:  // circle
+        d = std::sqrt(dx * dx + dy * dy);
+        break;
+      case 1:  // square
+        d = std::max(std::fabs(dx), std::fabs(dy));
+        break;
+      case 2:  // diamond
+        d = (std::fabs(dx) + std::fabs(dy)) * 0.75f;
+        break;
+      default:  // upward triangle: distance heuristic
+        d = std::max(-dy + 0.1f, std::fabs(dx) * 1.4f + dy * 0.6f);
+        break;
+    }
+    return clamp01((radius - d) / 0.08f);
+  };
+
+  float* p = img.data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(w);
+      const float v = static_cast<float>(y) / static_cast<float>(h);
+      const float cover = shape_coverage(u, v);
+      // Border band: inside the shape but near its boundary.
+      const float border_band = cover * (1.0f - cover) * 4.0f;
+      const float glyph =
+          0.5f + 0.5f * std::sin(2.0f * kPi * glyph_freq * (u * gct + v * gst));
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const float background = 0.45f;
+        const float interior = 0.85f - 0.45f * glyph;  // glyph texture
+        float value = background * (1.0f - cover) + interior * cover;
+        value = value * (1.0f - border_band) + border[c] * border_band;
+        p[(c * h + y) * w + x] = clamp01(value);
+      }
+    }
+  }
+  add_noise(img, config.noise_stddev, rng);
+  return img;
+}
+
+namespace {
+
+TrainTest generate(const SynthConfig& config, std::int64_t num_classes,
+                   Tensor (*render)(std::int64_t, const SynthConfig&, Rng&),
+                   Rng& rng) {
+  const Shape image_shape{3, config.height, config.width};
+  TrainTest out{ImageDataset(image_shape, num_classes),
+                ImageDataset(image_shape, num_classes)};
+  out.train.reserve(
+      static_cast<std::size_t>(config.train_per_class * num_classes));
+  out.test.reserve(
+      static_cast<std::size_t>(config.test_per_class * num_classes));
+  for (std::int64_t c = 0; c < num_classes; ++c) {
+    for (std::int64_t i = 0; i < config.train_per_class; ++i) {
+      out.train.add(render(c, config, rng), c);
+    }
+    for (std::int64_t i = 0; i < config.test_per_class; ++i) {
+      out.test.add(render(c, config, rng), c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainTest make_synth_cifar(const SynthConfig& config, Rng& rng) {
+  return generate(config, kSynthCifarClasses, render_synth_cifar_image, rng);
+}
+
+TrainTest make_synth_gtsrb(const SynthConfig& config, Rng& rng) {
+  return generate(config, kSynthGtsrbClasses, render_synth_gtsrb_image, rng);
+}
+
+}  // namespace bd::data

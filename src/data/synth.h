@@ -1,0 +1,53 @@
+// Procedural image-classification datasets.
+//
+// The paper evaluates on CIFAR-10 and GTSRB; neither ships with this
+// repository, so we substitute procedurally generated classification tasks
+// with the same interface characteristics (documented in DESIGN.md):
+//
+//  * SynthCifar  - 10 classes. Each class has a distinctive colour,
+//    stripe orientation and frequency; per-image jitter (phase, brightness)
+//    plus Gaussian pixel noise makes the task non-trivial but learnable by
+//    a small CNN in a few epochs.
+//  * SynthGtsrb  - 43 classes built from (shape x border colour x glyph)
+//    combinations, mimicking the structure of traffic-sign classes.
+//
+// What matters for the defenses under study is that (1) a CNN learns the
+// main task, (2) a trigger can be embedded as a backdoor shortcut, and
+// (3) the defender has only a few samples per class - all preserved here.
+#pragma once
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace bd::data {
+
+struct SynthConfig {
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  std::int64_t train_per_class = 300;
+  std::int64_t test_per_class = 60;
+  float noise_stddev = 0.08f;
+};
+
+struct TrainTest {
+  ImageDataset train;
+  ImageDataset test;
+};
+
+/// 10-class CIFAR-10 stand-in.
+TrainTest make_synth_cifar(const SynthConfig& config, Rng& rng);
+
+/// 43-class GTSRB stand-in.
+TrainTest make_synth_gtsrb(const SynthConfig& config, Rng& rng);
+
+/// Renders a single image of the given class (used by tests to probe
+/// class-conditional structure).
+Tensor render_synth_cifar_image(std::int64_t label, const SynthConfig& config,
+                                Rng& rng);
+Tensor render_synth_gtsrb_image(std::int64_t label, const SynthConfig& config,
+                                Rng& rng);
+
+constexpr std::int64_t kSynthCifarClasses = 10;
+constexpr std::int64_t kSynthGtsrbClasses = 43;
+
+}  // namespace bd::data

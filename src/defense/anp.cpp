@@ -1,0 +1,161 @@
+#include "defense/anp.h"
+
+#include <cmath>
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "eval/metrics.h"
+#include "nn/layers.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace bd::defense {
+
+DefenseResult AnpDefense::apply(models::Classifier& model,
+                                const DefenseContext& context) {
+  Stopwatch watch;
+  Rng& rng = context.rng_ref();
+  DefenseResult out;
+  out.defense_name = name();
+
+  auto bns = model.modules_of_type<nn::BatchNorm2d>();
+  if (bns.empty()) {
+    BD_LOG(Warn) << "ANP: model has no BatchNorm layers; nothing to prune";
+    out.seconds = watch.seconds();
+    return out;
+  }
+
+  // Install masks (init 1) and perturbations (init 0) on every BN.
+  std::vector<ag::Var> masks, deltas;
+  masks.reserve(bns.size());
+  deltas.reserve(bns.size());
+  for (auto* bn : bns) {
+    masks.emplace_back(Tensor::ones({bn->channels()}), /*requires_grad=*/true);
+    deltas.emplace_back(Tensor::zeros({bn->channels()}),
+                        /*requires_grad=*/true);
+    bn->set_channel_mask(masks.back());
+    bn->set_gamma_perturbation(deltas.back());
+  }
+
+  std::vector<ag::Var*> mask_ptrs, delta_ptrs;
+  for (auto& m : masks) mask_ptrs.push_back(&m);
+  for (auto& d : deltas) delta_ptrs.push_back(&d);
+  optim::Sgd mask_opt(mask_ptrs, {config_.mask_lr, 0.9f, 0.0f});
+
+  model.set_training(false);  // use running BN stats; masks still apply
+  data::DataLoader loader(context.clean_train, config_.batch_size, rng);
+  data::Batch batch;
+
+  auto zero_all = [](std::vector<ag::Var*>& vars) {
+    for (auto* v : vars) v->zero_grad();
+  };
+  auto set_deltas_zero = [&deltas] {
+    for (auto& d : deltas) d.mutable_value().fill(0.0f);
+  };
+
+  for (std::int64_t it = 0; it < config_.iterations; ++it) {
+    if (!loader.next(batch)) {
+      loader.reset();
+      loader.next(batch);
+    }
+
+    // Inner step: adversarial sign-ascent on delta within [-eps, eps].
+    set_deltas_zero();
+    zero_all(delta_ptrs);
+    zero_all(mask_ptrs);
+    {
+      ag::Var loss = ag::cross_entropy(model.forward(ag::Var(batch.images)),
+                                       batch.labels);
+      loss.backward();
+    }
+    for (auto& d : deltas) {
+      if (!d.has_grad()) continue;
+      Tensor& v = d.mutable_value();
+      const Tensor& g = d.grad();
+      for (std::int64_t i = 0; i < v.numel(); ++i) {
+        const float step =
+            g[i] > 0 ? config_.eps_step : (g[i] < 0 ? -config_.eps_step : 0.0f);
+        v[i] = std::clamp(v[i] + step, -config_.eps, config_.eps);
+      }
+    }
+
+    // Outer step: descend on masks with the ANP trade-off objective.
+    // Save the ascended deltas, evaluate the natural loss at delta = 0,
+    // then restore by REPLACING the tensors (not mutating in place, which
+    // would corrupt the natural-loss graph through shared storage).
+    std::vector<Tensor> ascended;
+    ascended.reserve(deltas.size());
+    for (auto& d : deltas) ascended.push_back(d.value().clone());
+
+    zero_all(mask_ptrs);
+    zero_all(delta_ptrs);
+    set_deltas_zero();
+    ag::Var natural_loss = ag::cross_entropy(
+        model.forward(ag::Var(batch.images)), batch.labels);
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      deltas[i].mutable_value() = std::move(ascended[i]);
+    }
+    ag::Var perturbed_loss = ag::cross_entropy(
+        model.forward(ag::Var(batch.images)), batch.labels);
+    ag::Var loss =
+        ag::add(ag::mul_scalar(natural_loss, config_.trade_off),
+                ag::mul_scalar(perturbed_loss, 1.0f - config_.trade_off));
+    loss.backward();
+    mask_opt.step();
+
+    // Project masks back to [0, 1].
+    for (auto& m : masks) {
+      Tensor& v = m.mutable_value();
+      for (std::int64_t i = 0; i < v.numel(); ++i) {
+        v[i] = std::clamp(v[i], 0.0f, 1.0f);
+      }
+    }
+  }
+
+  // Prune: suppress sub-threshold channels in ascending mask order (most
+  // backdoor-suspect first), guarded by a clean-accuracy floor.
+  for (std::size_t b = 0; b < bns.size(); ++b) {
+    bns[b]->clear_channel_mask();
+    bns[b]->clear_gamma_perturbation();
+  }
+  struct Candidate {
+    std::size_t bn;
+    std::int64_t channel;
+    float mask;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t b = 0; b < bns.size(); ++b) {
+    const Tensor& m = masks[b].value();
+    for (std::int64_t c = 0; c < m.numel(); ++c) {
+      if (m[c] < config_.prune_threshold) {
+        candidates.push_back({b, c, m[c]});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.mask < b.mask;
+            });
+
+  const double initial_acc = eval::accuracy(model, context.clean_val);
+  const double floor = initial_acc - config_.max_accuracy_drop;
+  for (const auto& cand : candidates) {
+    const float saved_gamma = bns[cand.bn]->gamma().value()[cand.channel];
+    const float saved_beta = bns[cand.bn]->beta().value()[cand.channel];
+    bns[cand.bn]->suppress_channel(cand.channel);
+    if (eval::accuracy(model, context.clean_val) < floor) {
+      bns[cand.bn]->gamma().mutable_value()[cand.channel] = saved_gamma;
+      bns[cand.bn]->beta().mutable_value()[cand.channel] = saved_beta;
+      break;
+    }
+    ++out.pruned_units;
+  }
+
+  BD_LOG(Debug) << "ANP suppressed " << out.pruned_units << " BN channels";
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace bd::defense

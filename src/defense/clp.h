@@ -1,0 +1,44 @@
+// CLP baseline (Zheng et al. 2022): data-free channel-Lipschitz pruning.
+//
+// For every conv output channel, an upper bound on its Lipschitz constant
+// is the spectral norm of the filter reshaped to (Cin, k*k), scaled by the
+// downstream BatchNorm factor |gamma| / sqrt(running_var + eps). Channels
+// whose bound exceeds mean + u*std within their layer are pruned. No data
+// is needed, so CLP results are identical across SPC settings - exactly
+// the behaviour visible in the paper's tables.
+#pragma once
+
+#include "defense/defense.h"
+#include "nn/layers.h"
+
+namespace bd::defense {
+
+struct ClpConfig {
+  /// Outlier threshold u: prune channels above mean + u*std (paper: 3-5).
+  double u = 3.0;
+  std::int64_t power_iterations = 20;
+};
+
+class ClpDefense : public Defense {
+ public:
+  ClpDefense() = default;
+  explicit ClpDefense(ClpConfig config) : config_(config) {}
+
+  DefenseResult apply(models::Classifier& model,
+                      const DefenseContext& context) override;
+  std::string name() const override { return "clp"; }
+
+ private:
+  ClpConfig config_;
+};
+
+/// Spectral norm of a 2-D tensor via power iteration (deterministic start).
+float spectral_norm(const Tensor& matrix, std::int64_t iterations);
+
+/// Per-output-channel Lipschitz bounds of a conv layer, optionally folding
+/// the following BatchNorm's scale.
+std::vector<float> channel_lipschitz_bounds(nn::Conv2d& conv,
+                                            const nn::BatchNorm2d* bn,
+                                            std::int64_t power_iterations);
+
+}  // namespace bd::defense

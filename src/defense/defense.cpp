@@ -1,0 +1,35 @@
+#include "defense/defense.h"
+
+#include <stdexcept>
+
+#include "attack/poison.h"
+
+namespace bd::defense {
+
+Rng& DefenseContext::rng_ref() const {
+  if (rng == nullptr) {
+    throw std::logic_error("DefenseContext: rng not set");
+  }
+  return *rng;
+}
+
+DefenseContext make_defense_context(const data::ImageDataset& spc_clean,
+                                    const attack::TriggerApplier& trigger,
+                                    const models::ModelSpec& spec, Rng& rng,
+                                    double val_fraction) {
+  DefenseContext ctx{
+      data::ImageDataset(spc_clean.image_shape(), spc_clean.num_classes()),
+      data::ImageDataset(spc_clean.image_shape(), spc_clean.num_classes()),
+      data::ImageDataset(spc_clean.image_shape(), spc_clean.num_classes()),
+      data::ImageDataset(spc_clean.image_shape(), spc_clean.num_classes()),
+      spec,
+      &rng};
+  auto [train, val] = spc_clean.split_per_class(1.0 - val_fraction, rng);
+  ctx.clean_train = std::move(train);
+  ctx.clean_val = std::move(val);
+  ctx.backdoor_train = attack::synthesize_backdoor_set(ctx.clean_train, trigger);
+  ctx.backdoor_val = attack::synthesize_backdoor_set(ctx.clean_val, trigger);
+  return ctx;
+}
+
+}  // namespace bd::defense

@@ -1,0 +1,58 @@
+// Common defense interface (Sec. V-B benchmark protocol).
+//
+// Every mitigation approach receives the same DefenseContext: the
+// defender's SPC clean samples (split into train/val per the paper: 90/10,
+// and exactly 1/1 per class at SPC=2), the synthesized backdoor variants of
+// those same samples labelled with their TRUE classes, and the model spec
+// (needed by defenses that build auxiliary models, e.g. NAD's teacher).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "attack/trigger.h"
+#include "data/dataset.h"
+#include "models/classifier.h"
+#include "models/factory.h"
+
+namespace bd::defense {
+
+struct DefenseContext {
+  data::ImageDataset clean_train;
+  data::ImageDataset clean_val;
+  /// Triggered versions of the defender's clean samples, true labels
+  /// (the Sec. III-C synthesis assumption; the Eq. 2 unlearning targets).
+  data::ImageDataset backdoor_train;
+  data::ImageDataset backdoor_val;
+  models::ModelSpec model_spec;
+  Rng* rng = nullptr;
+
+  Rng& rng_ref() const;
+};
+
+/// Builds the context from the defender's SPC sample set and the
+/// (synthesizable) trigger. `val_fraction` follows the paper's 10%.
+DefenseContext make_defense_context(const data::ImageDataset& spc_clean,
+                                    const attack::TriggerApplier& trigger,
+                                    const models::ModelSpec& spec, Rng& rng,
+                                    double val_fraction = 0.1);
+
+struct DefenseResult {
+  std::string defense_name;
+  std::int64_t pruned_units = 0;     // filters/channels removed
+  std::int64_t finetune_epochs = 0;  // epochs of post-processing
+  double seconds = 0.0;              // wall-clock of apply()
+};
+
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  /// Mutates `model` in place to remove the backdoor.
+  virtual DefenseResult apply(models::Classifier& model,
+                              const DefenseContext& context) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bd::defense

@@ -1,0 +1,37 @@
+// Fine-Pruning baseline (Liu, Dolan-Gavitt, Garg 2018).
+//
+// Observation: backdoor neurons are dormant on clean inputs. FP ranks the
+// channels of the last convolutional feature map by mean activation over
+// the defender's clean data and prunes the least-active filters until the
+// clean validation accuracy drops past a floor; a fine-tuning pass then
+// recovers accuracy.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace bd::defense {
+
+struct FinePruningConfig {
+  /// Maximum tolerated drop in clean validation accuracy during pruning.
+  double max_accuracy_drop = 0.05;
+  /// Never prune more than this fraction of the layer's filters.
+  double max_prune_fraction = 0.9;
+  std::int64_t finetune_max_epochs = 50;
+  std::int64_t batch_size = 32;
+  float finetune_lr = 0.05f;
+};
+
+class FinePruningDefense : public Defense {
+ public:
+  FinePruningDefense() = default;
+  explicit FinePruningDefense(FinePruningConfig config) : config_(config) {}
+
+  DefenseResult apply(models::Classifier& model,
+                      const DefenseContext& context) override;
+  std::string name() const override { return "fp"; }
+
+ private:
+  FinePruningConfig config_;
+};
+
+}  // namespace bd::defense

@@ -1,0 +1,26 @@
+#include "defense/finetune.h"
+
+#include "eval/trainer.h"
+#include "util/stopwatch.h"
+
+namespace bd::defense {
+
+DefenseResult FinetuneDefense::apply(models::Classifier& model,
+                                     const DefenseContext& context) {
+  Stopwatch watch;
+  eval::TrainConfig cfg;
+  cfg.epochs = config_.max_epochs;
+  cfg.batch_size = config_.batch_size;
+  cfg.lr = config_.lr;
+  cfg.momentum = config_.momentum;
+  eval::train_classifier(model, context.clean_train, cfg, context.rng_ref());
+  model.set_training(false);
+
+  DefenseResult out;
+  out.defense_name = name();
+  out.finetune_epochs = config_.max_epochs;
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace bd::defense

@@ -1,0 +1,32 @@
+// FT baseline (Liu et al. 2018): plain fine-tuning of the whole model on
+// the defender's clean samples for a FIXED number of epochs - the
+// BackdoorBench default the paper benchmarks against. No early stopping:
+// that is exactly why FT collapses in low-SPC settings (it overfits the
+// handful of clean samples), the paper's headline observation.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace bd::defense {
+
+struct FinetuneConfig {
+  std::int64_t max_epochs = 50;  // fixed budget, always fully used
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+};
+
+class FinetuneDefense : public Defense {
+ public:
+  FinetuneDefense() = default;
+  explicit FinetuneDefense(FinetuneConfig config) : config_(config) {}
+
+  DefenseResult apply(models::Classifier& model,
+                      const DefenseContext& context) override;
+  std::string name() const override { return "ft"; }
+
+ private:
+  FinetuneConfig config_;
+};
+
+}  // namespace bd::defense

@@ -1,0 +1,52 @@
+#include "defense/ftsam.h"
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "eval/metrics.h"
+#include "optim/optim.h"
+#include "util/stopwatch.h"
+
+namespace bd::defense {
+
+DefenseResult FtSamDefense::apply(models::Classifier& model,
+                                  const DefenseContext& context) {
+  Stopwatch watch;
+  Rng& rng = context.rng_ref();
+
+  optim::SgdOptions sgd_opts;
+  sgd_opts.lr = config_.lr;
+  sgd_opts.momentum = config_.momentum;
+  optim::Sam sam(std::make_unique<optim::Sgd>(model.parameters(), sgd_opts),
+                 config_.rho);
+
+  DefenseResult out;
+  out.defense_name = name();
+
+  for (std::int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    model.set_training(true);
+    data::DataLoader loader(context.clean_train, config_.batch_size, rng);
+    data::Batch batch;
+    while (loader.next(batch)) {
+      // First SAM step: gradient at w, ascend to w + e(w).
+      sam.zero_grad();
+      ag::Var loss1 = ag::cross_entropy(
+          model.forward(ag::Var(batch.images)), batch.labels);
+      loss1.backward();
+      sam.first_step();
+      // Second step: gradient at the perturbed point, descend from w.
+      sam.zero_grad();
+      ag::Var loss2 = ag::cross_entropy(
+          model.forward(ag::Var(batch.images)), batch.labels);
+      loss2.backward();
+      sam.second_step();
+    }
+    ++out.finetune_epochs;
+  }
+
+  model.set_training(false);
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace bd::defense

@@ -1,0 +1,32 @@
+// FT-SAM baseline (Zhu et al. 2023): fine-tuning with sharpness-aware
+// minimization. The SAM perturbation pushes weights out of the sharp
+// backdoor minimum that plain fine-tuning cannot escape, which is why the
+// paper finds FT-SAM the strongest fine-tuning-only defense.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace bd::defense {
+
+struct FtSamConfig {
+  std::int64_t max_epochs = 50;  // fixed budget (BackdoorBench default)
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float rho = 1.0f;   // SAM neighbourhood radius (FT-SAM uses large rho)
+};
+
+class FtSamDefense : public Defense {
+ public:
+  FtSamDefense() = default;
+  explicit FtSamDefense(FtSamConfig config) : config_(config) {}
+
+  DefenseResult apply(models::Classifier& model,
+                      const DefenseContext& context) override;
+  std::string name() const override { return "ftsam"; }
+
+ private:
+  FtSamConfig config_;
+};
+
+}  // namespace bd::defense

@@ -1,0 +1,79 @@
+// Trigger inversion (Neural-Cleanse-style, Wang et al. 2019).
+//
+// The paper's threat model (Sec. III-C) ASSUMES the defender can synthesize
+// backdoor inputs, citing trigger-inversion approaches; its conclusion
+// lists removing that assumption as future work. This module implements the
+// assumption: given only the backdoored model and a handful of clean
+// images, recover a (mask, pattern) pair such that
+//       x' = (1 - m) .* x + m .* p
+// drives the model to a target class, by minimizing
+//       CE(f(x'), t) + lambda * ||m||_1
+// over (m, p) through a sigmoid parameterization. Running the inversion for
+// every candidate class and flagging the class whose minimal trigger is an
+// L1 outlier (median absolute deviation) also yields target-class
+// detection, enabling a fully oracle-free pipeline:
+//       detect target -> invert trigger -> gradient-based unlearning prune.
+#pragma once
+
+#include <vector>
+
+#include "attack/trigger.h"
+#include "data/dataset.h"
+#include "models/classifier.h"
+
+namespace bd::defense {
+
+struct InversionConfig {
+  std::int64_t iterations = 150;
+  std::int64_t batch_size = 32;
+  float lr = 0.1f;           // Adam on the raw (pre-sigmoid) variables
+  float lambda_l1 = 0.01f;   // sparsity pressure on the mask
+};
+
+struct InvertedTrigger {
+  Tensor mask;     // (1, H, W) in [0, 1]
+  Tensor pattern;  // (C, H, W) in [0, 1]
+  double mask_l1 = 0.0;
+  double final_loss = 0.0;
+  std::int64_t target_class = 0;
+};
+
+/// Optimizes a trigger steering `model` toward `target_class` using the
+/// clean images in `clean` (their true labels are ignored).
+InvertedTrigger invert_trigger(models::Classifier& model,
+                               const data::ImageDataset& clean,
+                               std::int64_t target_class,
+                               const InversionConfig& config, Rng& rng);
+
+/// TriggerApplier backed by an inversion result, usable anywhere the
+/// defense pipeline expects a synthesizable trigger.
+class InvertedTriggerApplier : public attack::TriggerApplier {
+ public:
+  explicit InvertedTriggerApplier(InvertedTrigger trigger);
+  Tensor apply(const Tensor& image) const override;
+  std::string name() const override { return "inverted"; }
+  const InvertedTrigger& trigger() const { return trigger_; }
+
+ private:
+  InvertedTrigger trigger_;
+};
+
+struct TargetScanResult {
+  std::vector<InvertedTrigger> per_class;  // one inversion per class
+  std::int64_t detected_target = -1;       // -1 when nothing is anomalous
+  double anomaly_index = 0.0;              // |deviation| / (1.4826 * MAD)
+
+  /// Classes ordered by ascending inverted-mask L1 (most suspicious
+  /// first). Natural small-perturbation classes can tie with the true
+  /// target at small scale, so robust pipelines defend against the top-k.
+  std::vector<std::int64_t> ranked_candidates() const;
+};
+
+/// Neural-Cleanse scan: inverts a trigger for every class and flags the
+/// class whose mask L1 is an abnormally SMALL outlier (anomaly index > 2).
+TargetScanResult scan_for_backdoor_target(models::Classifier& model,
+                                          const data::ImageDataset& clean,
+                                          const InversionConfig& config,
+                                          Rng& rng);
+
+}  // namespace bd::defense

@@ -1,0 +1,38 @@
+// NAD baseline (Li et al. 2021): Neural Attention Distillation.
+//
+// A teacher is produced by fine-tuning a copy of the backdoored model on
+// the defender's clean data; the student (the original model) is then
+// trained with cross-entropy plus an attention-alignment term at every
+// stage boundary. Attention of a feature map F is the channel-wise mean of
+// F^2, L2-normalized per sample.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace bd::defense {
+
+struct NadConfig {
+  std::int64_t teacher_epochs = 10;
+  std::int64_t distill_epochs = 20;
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float beta = 500.0f;  // attention loss weight (paper-style magnitude)
+};
+
+class NadDefense : public Defense {
+ public:
+  NadDefense() = default;
+  explicit NadDefense(NadConfig config) : config_(config) {}
+
+  DefenseResult apply(models::Classifier& model,
+                      const DefenseContext& context) override;
+  std::string name() const override { return "nad"; }
+
+ private:
+  NadConfig config_;
+};
+
+/// Normalized spatial attention map of a staged feature (autograd-aware).
+ag::Var attention_map(const ag::Var& feature);
+
+}  // namespace bd::defense

@@ -1,0 +1,79 @@
+#include "eval/metrics.h"
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace bd::eval {
+
+namespace {
+
+/// Restores the module's training flag on scope exit.
+class EvalModeScope {
+ public:
+  explicit EvalModeScope(nn::Module& m) : module_(m), was_training_(m.training()) {
+    module_.set_training(false);
+  }
+  ~EvalModeScope() { module_.set_training(was_training_); }
+  EvalModeScope(const EvalModeScope&) = delete;
+  EvalModeScope& operator=(const EvalModeScope&) = delete;
+
+ private:
+  nn::Module& module_;
+  bool was_training_;
+};
+
+}  // namespace
+
+double accuracy(models::Classifier& model, const data::ImageDataset& dataset,
+                std::int64_t batch_size) {
+  if (dataset.empty()) return 0.0;
+  EvalModeScope scope(model);
+  ag::NoGradGuard no_grad;
+
+  std::int64_t correct = 0;
+  Rng dummy(0);
+  data::DataLoader loader(dataset, batch_size, dummy, /*shuffle=*/false);
+  data::Batch batch;
+  while (loader.next(batch)) {
+    const ag::Var logits = model.forward(ag::Var(batch.images));
+    const auto preds = argmax_rows(logits.value());
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double dataset_loss(models::Classifier& model,
+                    const data::ImageDataset& dataset,
+                    std::int64_t batch_size) {
+  if (dataset.empty()) return 0.0;
+  EvalModeScope scope(model);
+  ag::NoGradGuard no_grad;
+
+  double total = 0.0;
+  Rng dummy(0);
+  data::DataLoader loader(dataset, batch_size, dummy, /*shuffle=*/false);
+  data::Batch batch;
+  while (loader.next(batch)) {
+    const ag::Var logits = model.forward(ag::Var(batch.images));
+    const ag::Var loss = ag::cross_entropy(logits, batch.labels);
+    total += static_cast<double>(loss.value()[0]) *
+             static_cast<double>(batch.size());
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+BackdoorMetrics evaluate_backdoor(models::Classifier& model,
+                                  const data::ImageDataset& clean_test,
+                                  const data::ImageDataset& asr_test,
+                                  const data::ImageDataset& ra_test,
+                                  std::int64_t batch_size) {
+  BackdoorMetrics m;
+  m.acc = 100.0 * accuracy(model, clean_test, batch_size);
+  m.asr = 100.0 * accuracy(model, asr_test, batch_size);
+  m.ra = 100.0 * accuracy(model, ra_test, batch_size);
+  return m;
+}
+
+}  // namespace bd::eval

@@ -1,0 +1,219 @@
+#include "eval/runner.h"
+
+#include <stdexcept>
+
+#include "core/grad_prune.h"
+#include "core/registry.h"
+#include "data/synth.h"
+#include "defense/anp.h"
+#include "defense/fine_pruning.h"
+#include "defense/finetune.h"
+#include "defense/ftsam.h"
+#include "defense/nad.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace bd::eval {
+
+ExperimentScale default_scale(const std::string& dataset) {
+  ExperimentScale s;
+  const bool full = full_mode();
+  const bool gtsrb = dataset == "gtsrb";
+  if (dataset != "cifar" && dataset != "gtsrb") {
+    throw std::invalid_argument("default_scale: unknown dataset '" + dataset +
+                                "'");
+  }
+
+  s.data.height = s.data.width = full ? 20 : 12;
+  // The SPC=100 setting needs >= 112 clean training samples per class
+  // (100 for the defender + headroom); quick mode stops at SPC=10.
+  s.data.train_per_class = full ? (gtsrb ? 140 : 260) : (gtsrb ? 40 : 90);
+  s.data.test_per_class = full ? (gtsrb ? 25 : 60) : (gtsrb ? 8 : 25);
+
+  s.attack_train.epochs = full ? 8 : 4;
+  s.attack_train.batch_size = 32;
+  s.attack_train.lr = 0.05f;
+  s.attack_train.lr_decay = 0.7f;
+
+  s.base_width = full ? 16 : 8;
+  s.spc_settings = full ? std::vector<std::int64_t>{2, 10, 100}
+                        : std::vector<std::int64_t>{2, 10};
+  s.trials = trial_count(/*quick_default=*/2, /*full_default=*/5);
+
+  s.defense_max_epochs = full ? 50 : 15;
+  s.prune_max_rounds = full ? 150 : 40;
+  s.anp_iterations = full ? 120 : 60;
+  s.nad_teacher_epochs = full ? 10 : 4;
+  s.nad_distill_epochs = full ? 20 : 8;
+  return s;
+}
+
+std::unique_ptr<models::Classifier> BackdooredModel::instantiate(
+    Rng& rng) const {
+  auto model = models::make_model(spec, rng);
+  model->load_state_dict(state);
+  model->set_training(false);
+  return model;
+}
+
+BackdooredModel prepare_backdoored_model(const std::string& dataset,
+                                         const std::string& arch,
+                                         const std::string& attack,
+                                         const ExperimentScale& scale,
+                                         std::uint64_t seed) {
+  Stopwatch watch;
+  Rng rng(seed);
+
+  data::TrainTest split = dataset == "gtsrb"
+                              ? data::make_synth_gtsrb(scale.data, rng)
+                              : data::make_synth_cifar(scale.data, rng);
+  const Shape image_shape = split.train.image_shape();
+  const std::int64_t num_classes = split.train.num_classes();
+
+  BackdooredModel bd{dataset,
+                     attack,
+                     models::ModelSpec{},
+                     {},
+                     attack::make_trigger(attack, image_shape),
+                     std::move(split.train),
+                     std::move(split.test),
+                     data::ImageDataset(image_shape, num_classes),
+                     data::ImageDataset(image_shape, num_classes),
+                     BackdoorMetrics{}};
+
+  bd.spec.arch = arch;
+  bd.spec.num_classes = bd.clean_train_pool.num_classes();
+  bd.spec.in_channels = bd.clean_train_pool.image_shape()[0];
+  bd.spec.base_width = scale.base_width;
+
+  const attack::PoisonConfig poison_cfg;  // 10% poisoning, target class 0
+  const data::ImageDataset poisoned = attack::poison_training_set(
+      bd.clean_train_pool, *bd.trigger, poison_cfg, rng);
+
+  bd.asr_test =
+      attack::make_asr_test_set(bd.clean_test, *bd.trigger, poison_cfg.target_class);
+  bd.ra_test =
+      attack::make_ra_test_set(bd.clean_test, *bd.trigger, poison_cfg.target_class);
+
+  auto model = models::make_model(bd.spec, rng);
+  BD_LOG(Info) << "training backdoored " << arch << " (" << attack << ", "
+               << dataset << ", " << model->parameter_count() << " params)";
+  train_classifier(*model, poisoned, scale.attack_train, rng);
+
+  bd.state = model->state_dict();
+  bd.baseline =
+      evaluate_backdoor(*model, bd.clean_test, bd.asr_test, bd.ra_test);
+  BD_LOG(Info) << "baseline ACC=" << bd.baseline.acc
+               << " ASR=" << bd.baseline.asr << " RA=" << bd.baseline.ra
+               << " (" << watch.seconds() << "s)";
+  return bd;
+}
+
+namespace {
+
+std::unique_ptr<defense::Defense> make_scaled_defense(
+    const std::string& name, const ExperimentScale& scale) {
+  if (name == "ft") {
+    defense::FinetuneConfig c;
+    c.max_epochs = scale.defense_max_epochs;
+    return std::make_unique<defense::FinetuneDefense>(c);
+  }
+  if (name == "fp") {
+    defense::FinePruningConfig c;
+    c.finetune_max_epochs = scale.defense_max_epochs;
+    return std::make_unique<defense::FinePruningDefense>(c);
+  }
+  if (name == "nad") {
+    defense::NadConfig c;
+    c.teacher_epochs = scale.nad_teacher_epochs;
+    c.distill_epochs = scale.nad_distill_epochs;
+    return std::make_unique<defense::NadDefense>(c);
+  }
+  if (name == "ftsam") {
+    defense::FtSamConfig c;
+    c.max_epochs = scale.defense_max_epochs;
+    return std::make_unique<defense::FtSamDefense>(c);
+  }
+  if (name == "anp") {
+    defense::AnpConfig c;
+    c.iterations = scale.anp_iterations;
+    return std::make_unique<defense::AnpDefense>(c);
+  }
+  if (name == "gradprune") {
+    core::GradPruneConfig c;
+    c.max_prune_rounds = scale.prune_max_rounds;
+    c.finetune_max_epochs = scale.defense_max_epochs;
+    return std::make_unique<core::GradPruneDefense>(c);
+  }
+  // clp and anything else: library defaults.
+  return core::make_defense(name);
+}
+
+}  // namespace
+
+TrialResult run_defense_trial(const BackdooredModel& bd,
+                              const std::string& defense_name,
+                              std::int64_t spc, const ExperimentScale& scale,
+                              std::uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  auto model = bd.instantiate(rng);
+
+  const data::ImageDataset spc_set =
+      bd.clean_train_pool.sample_per_class(spc, rng);
+  const defense::DefenseContext ctx =
+      defense::make_defense_context(spc_set, *bd.trigger, bd.spec, rng);
+
+  auto defense = make_scaled_defense(defense_name, scale);
+  TrialResult result;
+  result.info = defense->apply(*model, ctx);
+  result.metrics =
+      evaluate_backdoor(*model, bd.clean_test, bd.asr_test, bd.ra_test);
+  return result;
+}
+
+TrialResult run_custom_defense_trial(const BackdooredModel& bd,
+                                     defense::Defense& defense,
+                                     std::int64_t spc,
+                                     std::uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  auto model = bd.instantiate(rng);
+
+  const data::ImageDataset spc_set =
+      bd.clean_train_pool.sample_per_class(spc, rng);
+  const defense::DefenseContext ctx =
+      defense::make_defense_context(spc_set, *bd.trigger, bd.spec, rng);
+
+  TrialResult result;
+  result.info = defense.apply(*model, ctx);
+  result.metrics =
+      evaluate_backdoor(*model, bd.clean_test, bd.asr_test, bd.ra_test);
+  return result;
+}
+
+SettingResult run_setting(const BackdooredModel& bd,
+                          const std::string& defense_name, std::int64_t spc,
+                          const ExperimentScale& scale, std::uint64_t seed) {
+  SettingResult out;
+  out.attack = bd.attack;
+  out.defense = defense_name;
+  out.spc = spc;
+  Rng seeder(seed);
+  for (int t = 0; t < scale.trials; ++t) {
+    const TrialResult trial =
+        run_defense_trial(bd, defense_name, spc, scale, seeder.next_u64());
+    out.acc.push_back(trial.metrics.acc);
+    out.asr.push_back(trial.metrics.asr);
+    out.ra.push_back(trial.metrics.ra);
+    out.seconds.push_back(trial.info.seconds);
+    out.pruned.push_back(trial.info.pruned_units);
+    BD_LOG(Info) << bd.attack << " spc=" << spc << " " << defense_name
+                 << " trial " << (t + 1) << "/" << scale.trials
+                 << ": ACC=" << trial.metrics.acc
+                 << " ASR=" << trial.metrics.asr
+                 << " RA=" << trial.metrics.ra;
+  }
+  return out;
+}
+
+}  // namespace bd::eval

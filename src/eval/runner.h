@@ -1,0 +1,101 @@
+// Experiment runner reproducing the paper's evaluation protocol (Sec. V):
+// train a backdoored model (10% poisoning, all-to-one, target class 0),
+// hand the defender SPC clean samples + synthesized triggered variants,
+// apply a defense, and measure ACC / ASR / RA on held-out test sets.
+//
+// Scale is governed by BDPROTO_MODE (quick|full): quick shrinks images,
+// widths, dataset sizes and training budgets so the full bench suite runs
+// on a single core; full uses the paper-scale settings for this repo's
+// synthetic substrate. BDPROTO_TRIALS overrides trials per setting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/poison.h"
+#include "data/synth.h"
+#include "defense/defense.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+
+namespace bd::eval {
+
+struct ExperimentScale {
+  data::SynthConfig data;
+  TrainConfig attack_train;
+  std::int64_t base_width = 8;
+  std::vector<std::int64_t> spc_settings;
+  int trials = 3;
+  // Defense budgets (quick mode trims these).
+  std::int64_t defense_max_epochs = 20;
+  std::int64_t prune_max_rounds = 60;
+  std::int64_t anp_iterations = 40;
+  std::int64_t nad_teacher_epochs = 5;
+  std::int64_t nad_distill_epochs = 10;
+};
+
+/// Scale for "cifar" or "gtsrb", honouring BDPROTO_MODE / BDPROTO_TRIALS.
+ExperimentScale default_scale(const std::string& dataset);
+
+/// A trained backdoored model plus everything needed to evaluate defenses
+/// against it. Reused across defenses / SPC settings / trials, mirroring
+/// the paper (one attack run, many defense evaluations).
+struct BackdooredModel {
+  std::string dataset;  // cifar | gtsrb
+  std::string attack;   // badnet | blended | lf | bpp
+  models::ModelSpec spec;
+  std::map<std::string, Tensor> state;  // trained poisoned weights
+  std::unique_ptr<attack::TriggerApplier> trigger;
+  data::ImageDataset clean_train_pool;  // defender SPC sampling pool
+  data::ImageDataset clean_test;
+  data::ImageDataset asr_test;
+  data::ImageDataset ra_test;
+  BackdoorMetrics baseline;  // metrics with no defense applied
+
+  /// Fresh model instance loaded with the backdoored weights.
+  std::unique_ptr<models::Classifier> instantiate(Rng& rng) const;
+};
+
+/// Trains the backdoored model for (dataset, arch, attack) at `scale`.
+BackdooredModel prepare_backdoored_model(const std::string& dataset,
+                                         const std::string& arch,
+                                         const std::string& attack,
+                                         const ExperimentScale& scale,
+                                         std::uint64_t seed);
+
+struct TrialResult {
+  BackdoorMetrics metrics;
+  defense::DefenseResult info;
+};
+
+/// Runs one defense trial: sample SPC, build context, defend, evaluate.
+TrialResult run_defense_trial(const BackdooredModel& bd,
+                              const std::string& defense_name,
+                              std::int64_t spc, const ExperimentScale& scale,
+                              std::uint64_t trial_seed);
+
+/// Same, with a caller-supplied defense instance (ablation studies that
+/// need non-default configurations). The defense is applied once.
+TrialResult run_custom_defense_trial(const BackdooredModel& bd,
+                                     defense::Defense& defense,
+                                     std::int64_t spc,
+                                     std::uint64_t trial_seed);
+
+/// Per-setting aggregate over trials.
+struct SettingResult {
+  std::string attack;
+  std::string defense;
+  std::int64_t spc = 0;
+  std::vector<double> acc, asr, ra;  // one entry per trial
+  std::vector<double> seconds;       // defense wall-clock per trial
+  std::vector<std::int64_t> pruned;  // units pruned per trial
+};
+
+/// Runs `scale.trials` trials of one defense at one SPC setting.
+SettingResult run_setting(const BackdooredModel& bd,
+                          const std::string& defense_name, std::int64_t spc,
+                          const ExperimentScale& scale, std::uint64_t seed);
+
+}  // namespace bd::eval

@@ -1,0 +1,76 @@
+#include "eval/table_bench.h"
+
+#include <cstdio>
+
+#include "core/registry.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace bd::eval {
+
+TableRun run_table(const TableSpec& spec) {
+  Stopwatch watch;
+  const ExperimentScale scale = default_scale(spec.dataset);
+  const std::uint64_t seed = base_seed();
+
+  std::printf("== %s ==\n", spec.title.c_str());
+  std::printf("dataset=%s arch=%s mode=%s trials=%d spc={", spec.dataset.c_str(),
+              spec.arch.c_str(), full_mode() ? "full" : "quick", scale.trials);
+  for (std::size_t i = 0; i < scale.spc_settings.size(); ++i) {
+    std::printf("%s%lld", i ? "," : "",
+                static_cast<long long>(scale.spc_settings[i]));
+  }
+  std::printf("}\n\n");
+
+  TableRun run;
+  TextTable table({"Attack", "SPC", "Defense", "ACC", "ASR", "RA"});
+
+  for (const auto& attack : spec.attacks) {
+    Rng seeder(seed ^ std::hash<std::string>{}(attack + spec.arch));
+    const BackdooredModel bd = prepare_backdoored_model(
+        spec.dataset, spec.arch, attack, scale, seeder.next_u64());
+    run.baselines.emplace_back(attack, bd.baseline);
+
+    char acc_buf[32], asr_buf[32], ra_buf[32];
+    std::snprintf(acc_buf, sizeof(acc_buf), "%.2f", bd.baseline.acc);
+    std::snprintf(asr_buf, sizeof(asr_buf), "%.2f", bd.baseline.asr);
+    std::snprintf(ra_buf, sizeof(ra_buf), "%.2f", bd.baseline.ra);
+    table.add_row({attack, "-", "Baseline", acc_buf, asr_buf, ra_buf});
+
+    for (const auto spc : scale.spc_settings) {
+      for (const auto& defense : spec.defenses) {
+        const SettingResult setting =
+            run_setting(bd, defense, spc, scale, seeder.next_u64());
+        table.add_row({attack, std::to_string(spc),
+                       core::defense_display_name(defense),
+                       mean_std_string(setting.acc),
+                       mean_std_string(setting.asr),
+                       mean_std_string(setting.ra)});
+        run.settings.push_back(setting);
+      }
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (spec.scatter) {
+    // Figure series: one (ASR, ACC) and (ASR, RA) point per trial.
+    std::printf("# scatter: defense,attack,spc,trial,asr,acc,ra\n");
+    for (const auto& s : run.settings) {
+      for (std::size_t t = 0; t < s.asr.size(); ++t) {
+        std::printf("scatter,%s,%s,%lld,%zu,%.2f,%.2f,%.2f\n",
+                    s.defense.c_str(), s.attack.c_str(),
+                    static_cast<long long>(s.spc), t + 1, s.asr[t], s.acc[t],
+                    s.ra[t]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("total: %.1fs\n\n", watch.seconds());
+  return run;
+}
+
+}  // namespace bd::eval

@@ -1,0 +1,34 @@
+// Table/figure harness shared by the bench binaries.
+//
+// Each paper table is (dataset, architecture) x attacks x SPC x defenses;
+// each figure is the per-trial (ASR, ACC) / (ASR, RA) scatter of the same
+// runs. run_table() executes the sweep and prints rows in the paper's
+// format (mean ± std over trials) plus optional scatter series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace bd::eval {
+
+struct TableSpec {
+  std::string title;
+  std::string dataset;  // cifar | gtsrb
+  std::string arch;     // preactresnet | vgg | efficientnet | mobilenet
+  std::vector<std::string> attacks;
+  std::vector<std::string> defenses;
+  /// Also print per-trial scatter points (figure reproduction).
+  bool scatter = false;
+};
+
+struct TableRun {
+  std::vector<SettingResult> settings;  // per (attack, spc, defense)
+  std::vector<std::pair<std::string, BackdoorMetrics>> baselines;
+};
+
+/// Runs the sweep and prints the table (and scatter series) to stdout.
+TableRun run_table(const TableSpec& spec);
+
+}  // namespace bd::eval

@@ -1,0 +1,117 @@
+#include "eval/trainer.h"
+
+#include <stdexcept>
+
+#include "autograd/ops.h"
+#include "eval/metrics.h"
+#include "optim/optim.h"
+#include "util/logging.h"
+
+namespace bd::eval {
+
+double train_classifier(models::Classifier& model,
+                        const data::ImageDataset& train,
+                        const TrainConfig& config, Rng& rng) {
+  if (train.empty()) {
+    throw std::invalid_argument("train_classifier: empty training set");
+  }
+  model.set_training(true);
+  optim::SgdOptions opts;
+  opts.lr = config.lr;
+  opts.momentum = config.momentum;
+  opts.weight_decay = config.weight_decay;
+  optim::Sgd sgd(model.parameters(), opts);
+
+  double epoch_loss = 0.0;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    data::DataLoader loader(train, config.batch_size, rng);
+    data::Batch batch;
+    double total = 0.0;
+    std::int64_t seen = 0;
+    while (loader.next(batch)) {
+      data::augment_batch_inplace(batch, config.augment, rng);
+      sgd.zero_grad();
+      const ag::Var logits = model.forward(ag::Var(batch.images));
+      ag::Var loss = ag::cross_entropy(logits, batch.labels);
+      loss.backward();
+      sgd.step();
+      total += static_cast<double>(loss.value()[0]) *
+               static_cast<double>(batch.size());
+      seen += batch.size();
+    }
+    epoch_loss = total / static_cast<double>(seen);
+    if (config.verbose) {
+      BD_LOG(Info) << "epoch " << (epoch + 1) << "/" << config.epochs
+                   << " loss=" << epoch_loss << " lr=" << sgd.options().lr;
+    }
+    sgd.options().lr *= config.lr_decay;
+  }
+  return epoch_loss;
+}
+
+EarlyStopResult finetune_early_stopping(models::Classifier& model,
+                                        const data::ImageDataset& train,
+                                        const data::ImageDataset& val,
+                                        const EarlyStopConfig& config,
+                                        Rng& rng) {
+  if (train.empty() || val.empty()) {
+    throw std::invalid_argument("finetune_early_stopping: empty train or val");
+  }
+  optim::SgdOptions opts;
+  opts.lr = config.lr;
+  opts.momentum = config.momentum;
+  opts.weight_decay = config.weight_decay;
+  optim::Sgd sgd(model.parameters(), opts);
+
+  EarlyStopResult result;
+  result.best_val_loss = dataset_loss(model, val);
+  auto best_state = model.state_dict();
+  std::int64_t epochs_without_improvement = 0;
+
+  for (std::int64_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    model.set_training(true);
+    data::DataLoader loader(train, config.batch_size, rng);
+    data::Batch batch;
+    while (loader.next(batch)) {
+      sgd.zero_grad();
+      const ag::Var logits = model.forward(ag::Var(batch.images));
+      ag::Var loss = ag::cross_entropy(logits, batch.labels);
+      loss.backward();
+      sgd.step();
+      if (config.post_step) config.post_step();
+    }
+    ++result.epochs_run;
+
+    const double val_loss = dataset_loss(model, val);
+    if (config.verbose) {
+      BD_LOG(Info) << "finetune epoch " << (epoch + 1)
+                   << " val_loss=" << val_loss
+                   << " best=" << result.best_val_loss;
+    }
+    if (val_loss < result.best_val_loss - 1e-6) {
+      result.best_val_loss = val_loss;
+      best_state = model.state_dict();
+      epochs_without_improvement = 0;
+    } else if (++epochs_without_improvement >= config.patience) {
+      break;
+    }
+  }
+  model.load_state_dict(best_state);
+  model.set_training(false);
+  return result;
+}
+
+data::ImageDataset concat(const data::ImageDataset& a,
+                          const data::ImageDataset& b) {
+  if (a.image_shape() != b.image_shape() ||
+      a.num_classes() != b.num_classes()) {
+    throw std::invalid_argument("concat: dataset metadata mismatch");
+  }
+  data::ImageDataset out(a.image_shape(), a.num_classes());
+  out.reserve(a.size() + b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.add(a.image(i), a.label(i));
+  for (std::size_t i = 0; i < b.size(); ++i) out.add(b.image(i), b.label(i));
+  return out;
+}
+
+}  // namespace bd::eval

@@ -1,0 +1,64 @@
+// Training loops shared by the attack pipeline (training the backdoored
+// model) and the defenses (fine-tuning stages).
+#pragma once
+
+#include <functional>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "models/classifier.h"
+#include "util/rng.h"
+
+namespace bd::eval {
+
+struct TrainConfig {
+  std::int64_t epochs = 5;
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Multiply lr by this factor after each epoch (1 = constant).
+  float lr_decay = 1.0f;
+  /// Optional train-time augmentation (disabled by default; the paper
+  /// benches train without it).
+  data::AugmentConfig augment;
+  bool verbose = false;
+};
+
+/// Standard SGD training on `train`; returns final mean epoch loss.
+double train_classifier(models::Classifier& model,
+                        const data::ImageDataset& train,
+                        const TrainConfig& config, Rng& rng);
+
+struct EarlyStopConfig {
+  std::int64_t max_epochs = 50;
+  /// Stop when validation loss has not improved for this many epochs
+  /// (the paper's P_t for the fine-tuning stage).
+  std::int64_t patience = 5;
+  std::int64_t batch_size = 32;
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  bool verbose = false;
+  /// Invoked after every optimizer step (e.g. to re-apply prune masks).
+  std::function<void()> post_step;
+};
+
+struct EarlyStopResult {
+  std::int64_t epochs_run = 0;
+  double best_val_loss = 0.0;
+};
+
+/// Fine-tunes with SGD until validation loss stops improving for
+/// `patience` epochs; restores the best-validation-loss weights.
+EarlyStopResult finetune_early_stopping(models::Classifier& model,
+                                        const data::ImageDataset& train,
+                                        const data::ImageDataset& val,
+                                        const EarlyStopConfig& config,
+                                        Rng& rng);
+
+/// Merges two datasets (shapes and class counts must match).
+data::ImageDataset concat(const data::ImageDataset& a,
+                          const data::ImageDataset& b);
+
+}  // namespace bd::eval

@@ -1,0 +1,32 @@
+// Classifier interface.
+//
+// All evaluation models expose, besides plain logits, their per-stage
+// feature maps: the NAD defense distills spatial attention at stage
+// boundaries, and tests use the features to probe where backdoor signal
+// concentrates.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace bd::models {
+
+class Classifier : public nn::Module {
+ public:
+  struct StagedOutput {
+    ag::Var logits;
+    /// Feature maps after each major stage, shallow to deep.
+    std::vector<ag::Var> stage_features;
+  };
+
+  virtual StagedOutput forward_with_features(const ag::Var& x) = 0;
+
+  ag::Var forward(const ag::Var& x) override {
+    return forward_with_features(x).logits;
+  }
+
+  virtual std::int64_t num_classes() const = 0;
+};
+
+}  // namespace bd::models

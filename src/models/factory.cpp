@@ -1,0 +1,49 @@
+#include "models/factory.h"
+
+#include <stdexcept>
+
+#include "models/efficientnet.h"
+#include "models/mobilenet.h"
+#include "models/preact_resnet.h"
+#include "models/vgg.h"
+
+namespace bd::models {
+
+std::unique_ptr<Classifier> make_model(const ModelSpec& spec, Rng& rng) {
+  if (spec.arch == "preactresnet") {
+    PreActResNetConfig c;
+    c.num_classes = spec.num_classes;
+    c.in_channels = spec.in_channels;
+    c.base_width = spec.base_width;
+    return std::make_unique<PreActResNet>(c, rng);
+  }
+  if (spec.arch == "vgg") {
+    VggBnConfig c;
+    c.num_classes = spec.num_classes;
+    c.in_channels = spec.in_channels;
+    c.base_width = spec.base_width;
+    return std::make_unique<VggBn>(c, rng);
+  }
+  if (spec.arch == "efficientnet") {
+    EfficientNetConfig c;
+    c.num_classes = spec.num_classes;
+    c.in_channels = spec.in_channels;
+    c.base_width = spec.base_width;
+    return std::make_unique<EfficientNetLite>(c, rng);
+  }
+  if (spec.arch == "mobilenet") {
+    MobileNetV3Config c;
+    c.num_classes = spec.num_classes;
+    c.in_channels = spec.in_channels;
+    c.base_width = spec.base_width;
+    return std::make_unique<MobileNetV3Small>(c, rng);
+  }
+  throw std::invalid_argument("make_model: unknown architecture '" +
+                              spec.arch + "'");
+}
+
+std::vector<std::string> known_architectures() {
+  return {"preactresnet", "vgg", "efficientnet", "mobilenet"};
+}
+
+}  // namespace bd::models

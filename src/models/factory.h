@@ -1,0 +1,26 @@
+// Model factory keyed by the architecture names the bench harness uses:
+// "preactresnet", "vgg", "efficientnet", "mobilenet".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/classifier.h"
+#include "util/rng.h"
+
+namespace bd::models {
+
+struct ModelSpec {
+  std::string arch;  // preactresnet | vgg | efficientnet | mobilenet
+  std::int64_t num_classes = 10;
+  std::int64_t in_channels = 3;
+  std::int64_t base_width = 16;
+};
+
+std::unique_ptr<Classifier> make_model(const ModelSpec& spec, Rng& rng);
+
+/// All architecture names make_model accepts.
+std::vector<std::string> known_architectures();
+
+}  // namespace bd::models

@@ -1,0 +1,49 @@
+#include "models/mbconv.h"
+
+namespace bd::models {
+
+MBConv::MBConv(const MBConvConfig& config, Rng& rng)
+    : config_(config),
+      dw_(config.in_channels * config.expand_ratio, 3, config.stride, 1,
+          /*bias=*/false, rng),
+      dw_bn_(config.in_channels * config.expand_ratio),
+      project_(config.in_channels * config.expand_ratio, config.out_channels,
+               1, 1, 0, /*bias=*/false, rng),
+      project_bn_(config.out_channels),
+      residual_(config.stride == 1 &&
+                config.in_channels == config.out_channels) {
+  const std::int64_t mid = config.in_channels * config.expand_ratio;
+  if (config.expand_ratio != 1) {
+    expand_ = std::make_unique<nn::Conv2d>(config.in_channels, mid, 1, 1, 0,
+                                           /*bias=*/false, rng);
+    expand_bn_ = std::make_unique<nn::BatchNorm2d>(mid);
+    register_module("expand", *expand_);
+    register_module("expand_bn", *expand_bn_);
+  }
+  register_module("dw", dw_);
+  register_module("dw_bn", dw_bn_);
+  if (config.use_se) {
+    se_ = std::make_unique<nn::SEBlock>(mid, /*reduction=*/4, rng);
+    register_module("se", *se_);
+  }
+  register_module("project", project_);
+  register_module("project_bn", project_bn_);
+}
+
+ag::Var MBConv::activate(const ag::Var& x) const {
+  return config_.use_hardswish ? ag::hardswish(x) : ag::relu(x);
+}
+
+ag::Var MBConv::forward(const ag::Var& x) {
+  ag::Var h = x;
+  if (expand_) {
+    h = activate(expand_bn_->forward(expand_->forward(h)));
+  }
+  h = activate(dw_bn_.forward(dw_.forward(h)));
+  if (se_) h = se_->forward(h);
+  h = project_bn_.forward(project_.forward(h));  // linear bottleneck
+  if (residual_) h = ag::add(h, x);
+  return h;
+}
+
+}  // namespace bd::models

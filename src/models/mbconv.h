@@ -1,0 +1,42 @@
+// Mobile inverted-bottleneck block (MBConv) with squeeze-excite, shared by
+// the EfficientNet-lite and MobileNetV3 stand-in models: 1x1 expand ->
+// depthwise 3x3 -> SE -> 1x1 project, residual when shapes match.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace bd::models {
+
+struct MBConvConfig {
+  std::int64_t in_channels;
+  std::int64_t out_channels;
+  std::int64_t expand_ratio = 4;  // 1 disables the expand conv
+  std::int64_t stride = 1;
+  bool use_se = true;
+  bool use_hardswish = true;  // false -> ReLU
+};
+
+class MBConv : public nn::Module {
+ public:
+  MBConv(const MBConvConfig& config, Rng& rng);
+
+  ag::Var forward(const ag::Var& x) override;
+  const char* type_name() const override { return "MBConv"; }
+
+ private:
+  ag::Var activate(const ag::Var& x) const;
+
+  MBConvConfig config_;
+  std::unique_ptr<nn::Conv2d> expand_;
+  std::unique_ptr<nn::BatchNorm2d> expand_bn_;
+  nn::DepthwiseConv2d dw_;
+  nn::BatchNorm2d dw_bn_;
+  std::unique_ptr<nn::SEBlock> se_;
+  nn::Conv2d project_;
+  nn::BatchNorm2d project_bn_;
+  bool residual_;
+};
+
+}  // namespace bd::models

@@ -1,0 +1,45 @@
+#include "models/vgg.h"
+
+namespace bd::models {
+
+namespace {
+void add_stage(nn::Sequential& stage, std::int64_t in_ch, std::int64_t out_ch,
+               std::int64_t convs, Rng& rng) {
+  std::int64_t ch = in_ch;
+  for (std::int64_t i = 0; i < convs; ++i) {
+    stage.emplace<nn::Conv2d>(ch, out_ch, 3, 1, 1, /*bias=*/false, rng);
+    stage.emplace<nn::BatchNorm2d>(out_ch);
+    stage.emplace<nn::ReLU>();
+    ch = out_ch;
+  }
+  stage.emplace<nn::MaxPool2d>(Pool2dSpec{2, 2, 0});
+}
+}  // namespace
+
+VggBn::VggBn(const VggBnConfig& config, Rng& rng)
+    : config_(config),
+      head_(config.base_width * 4, config.num_classes, rng) {
+  const std::int64_t w = config.base_width;
+  add_stage(stage1_, config.in_channels, w, config.convs_per_stage, rng);
+  add_stage(stage2_, w, 2 * w, config.convs_per_stage, rng);
+  add_stage(stage3_, 2 * w, 4 * w, config.convs_per_stage, rng);
+  register_module("stage1", stage1_);
+  register_module("stage2", stage2_);
+  register_module("stage3", stage3_);
+  register_module("head", head_);
+}
+
+Classifier::StagedOutput VggBn::forward_with_features(const ag::Var& x) {
+  StagedOutput out;
+  ag::Var h = stage1_.forward(x);
+  out.stage_features.push_back(h);
+  h = stage2_.forward(h);
+  out.stage_features.push_back(h);
+  h = stage3_.forward(h);
+  out.stage_features.push_back(h);
+  h = ag::global_avgpool(h);
+  out.logits = head_.forward(h);
+  return out;
+}
+
+}  // namespace bd::models

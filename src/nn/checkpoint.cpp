@@ -1,0 +1,79 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+
+namespace bd::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x42444350;  // "BDCP"
+
+void write_string(std::ostream& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > (1u << 20)) {
+    throw std::runtime_error("checkpoint: bad string length");
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("checkpoint: truncated string");
+  return s;
+}
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_checkpoint: cannot open '" + path + "'");
+  }
+  const auto state = module.state_dict();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const auto count = static_cast<std::uint32_t>(state.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, tensor] : state) {
+    write_string(out, name);
+    write_tensor(out, tensor);
+  }
+  if (!out) {
+    throw std::runtime_error("save_checkpoint: write failure on '" + path +
+                             "'");
+  }
+}
+
+std::map<std::string, Tensor> load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_state: cannot open '" + path + "'");
+  }
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_state: '" + path +
+                             "' is not a checkpoint file");
+  }
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("load_state: truncated header");
+
+  std::map<std::string, Tensor> state;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    state[std::move(name)] = read_tensor(in);
+  }
+  return state;
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  module.load_state_dict(load_state(path));
+}
+
+}  // namespace bd::nn

@@ -1,0 +1,26 @@
+// Model checkpointing: save/load a module's full state (parameters and
+// buffers) to a binary file. Used to hand backdoored or repaired models
+// between processes (e.g. train once, evaluate many defenses later).
+//
+// Format: magic, entry count, then per entry a length-prefixed name and a
+// serialized tensor (see tensor/serialize.h).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace bd::nn {
+
+/// Writes `module.state_dict()` to `path`; throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Reads a state dict from `path`.
+std::map<std::string, Tensor> load_state(const std::string& path);
+
+/// Reads `path` and loads it into `module` (shapes must match).
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace bd::nn

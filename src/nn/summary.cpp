@@ -1,0 +1,57 @@
+#include "nn/summary.h"
+
+#include <sstream>
+
+#include "nn/layers.h"
+
+namespace bd::nn {
+
+namespace {
+
+std::string with_thousands(std::int64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+void describe(const Module& module, const std::string& name, int depth,
+              std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << name << ": "
+      << module.type_name() << "  " << with_thousands(module.parameter_count())
+      << " params";
+  if (const auto* conv = dynamic_cast<const Conv2d*>(&module)) {
+    const auto pruned = conv->pruned_filter_count();
+    if (pruned > 0) {
+      out << "  [" << pruned << "/" << conv->out_channels()
+          << " filters pruned]";
+    }
+  }
+  out << '\n';
+  for (const auto& [child_name, child] : module.children()) {
+    describe(*child, child_name, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string summarize(const Module& module, const std::string& name) {
+  std::ostringstream out;
+  describe(module, name, 0, out);
+  return out.str();
+}
+
+std::int64_t total_pruned_filters(Module& module) {
+  std::int64_t total = 0;
+  for (auto* conv : module.modules_of_type<Conv2d>()) {
+    total += conv->pruned_filter_count();
+  }
+  return total;
+}
+
+}  // namespace bd::nn

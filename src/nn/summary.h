@@ -1,0 +1,21 @@
+// Model summary: a layer tree with parameter counts and prune status,
+// printable from examples and the CLI (`what did the defense remove?`).
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace bd::nn {
+
+/// Multi-line tree like:
+///   PreActResNet                 44,274 params
+///     stem: Conv2d               216 params
+///     stage1: Sequential ...
+/// Conv layers with pruned filters are annotated "[k/N filters pruned]".
+std::string summarize(const Module& module, const std::string& name = "model");
+
+/// Total number of pruned conv filters across the module tree.
+std::int64_t total_pruned_filters(Module& module);
+
+}  // namespace bd::nn

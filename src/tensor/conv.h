@@ -1,0 +1,55 @@
+// Convolution kernels (forward and backward) used by the autograd layer.
+//
+// Layout is NCHW. Standard convolutions go through im2col + matmul; the
+// depthwise variant (MobileNet / EfficientNet blocks) uses direct loops.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace bd {
+
+struct Conv2dSpec {
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+};
+
+/// Output spatial size for one dimension.
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding);
+
+/// Unfolds one image (C,H,W view of `input` at batch index n) into a
+/// (C*KH*KW, OH*OW) patch matrix.
+Tensor im2col(const Tensor& input, std::int64_t n, std::int64_t kh,
+              std::int64_t kw, const Conv2dSpec& spec);
+
+/// Folds a (C*KH*KW, OH*OW) patch-gradient matrix back onto image `n` of
+/// `grad_input` (accumulating).
+void col2im_accumulate(const Tensor& cols, Tensor& grad_input, std::int64_t n,
+                       std::int64_t kh, std::int64_t kw,
+                       const Conv2dSpec& spec);
+
+/// input (N,Cin,H,W) * weight (Cout,Cin,KH,KW) + bias (Cout, optional
+/// undefined) -> (N,Cout,OH,OW).
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;  // undefined when the forward had no bias
+};
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_output,
+                            const Conv2dSpec& spec);
+
+/// Depthwise conv: input (N,C,H,W) * weight (C,1,KH,KW) + bias (C).
+Tensor depthwise_conv2d_forward(const Tensor& input, const Tensor& weight,
+                                const Tensor& bias, const Conv2dSpec& spec);
+
+Conv2dGrads depthwise_conv2d_backward(const Tensor& input,
+                                      const Tensor& weight, bool has_bias,
+                                      const Tensor& grad_output,
+                                      const Conv2dSpec& spec);
+
+}  // namespace bd

@@ -1,0 +1,98 @@
+// Tensor arithmetic: elementwise ops with NumPy-style broadcasting,
+// reductions, matrix multiply, and the broadcast-reduction helper the
+// autograd engine uses to accumulate gradients back to parameter shapes.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace bd {
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
+
+/// Result shape of broadcasting a with b; throws if incompatible.
+Shape broadcast_shape(const Shape& a, const Shape& b);
+
+/// True if `from` broadcasts to `to` under NumPy rules.
+bool broadcastable_to(const Shape& from, const Shape& to);
+
+/// Sums `t` over its broadcast dimensions so the result has shape `target`.
+/// Inverse of broadcasting; used to reduce output gradients to input shapes.
+Tensor reduce_to_shape(const Tensor& t, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Elementwise binary (broadcasting)
+// ---------------------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor minimum(const Tensor& a, const Tensor& b);
+
+/// Generic broadcasted elementwise combine (slow path, used by the above).
+Tensor broadcast_binary(const Tensor& a, const Tensor& b,
+                        const std::function<float(float, float)>& f,
+                        const char* op_name);
+
+// ---------------------------------------------------------------------------
+// Elementwise with scalars / unary
+// ---------------------------------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);
+Tensor pow_scalar(const Tensor& a, float p);
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh(const Tensor& a);
+
+/// Applies f to every element.
+Tensor unary(const Tensor& a, const std::function<float(float)>& f);
+
+// In-place axpy: y += alpha * x (same shape).
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+float l1_norm(const Tensor& a);
+float l2_norm(const Tensor& a);
+
+/// Sum over the given axes. With keepdim, reduced axes become size 1.
+Tensor reduce_sum(const Tensor& a, const std::vector<std::int64_t>& axes,
+                  bool keepdim);
+Tensor reduce_mean(const Tensor& a, const std::vector<std::int64_t>& axes,
+                   bool keepdim);
+
+// ---------------------------------------------------------------------------
+// Linear algebra / classification helpers
+// ---------------------------------------------------------------------------
+
+/// (m,k) x (k,n) -> (m,n), blocked for cache friendliness.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// Row-wise argmax of a (rows, cols) tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+/// Numerically stable log-softmax along dim 1 of a (rows, cols) tensor.
+Tensor log_softmax_rows(const Tensor& a);
+
+}  // namespace bd

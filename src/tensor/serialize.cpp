@@ -1,0 +1,49 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace bd {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x42445431;  // "BDT1"
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  const std::uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const std::uint32_t rank = static_cast<std::uint32_t>(t.dim());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (const auto d : t.shape()) {
+    const std::int64_t dim = d;
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("write_tensor: stream failure");
+}
+
+Tensor read_tensor(std::istream& in) {
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("read_tensor: bad magic");
+  }
+  std::uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank > 8) throw std::runtime_error("read_tensor: bad rank");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!in || d < 0) throw std::runtime_error("read_tensor: bad dim");
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("read_tensor: truncated payload");
+  return t;
+}
+
+}  // namespace bd

@@ -1,0 +1,16 @@
+// Binary tensor serialization. Models expose save/load of their parameter
+// state through these primitives (magic + rank + dims + float payload).
+#pragma once
+
+#include <iosfwd>
+
+#include "tensor/tensor.h"
+
+namespace bd {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Throws std::runtime_error on malformed streams.
+Tensor read_tensor(std::istream& in);
+
+}  // namespace bd

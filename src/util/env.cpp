@@ -1,0 +1,47 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace bd {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<std::int64_t> env_int(const std::string& name) {
+  const auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+RunMode run_mode() {
+  static const RunMode mode = [] {
+    const auto s = env_string("BDPROTO_MODE");
+    if (s && *s == "full") return RunMode::kFull;
+    return RunMode::kQuick;
+  }();
+  return mode;
+}
+
+bool full_mode() { return run_mode() == RunMode::kFull; }
+
+int trial_count(int quick_default, int full_default) {
+  if (const auto n = env_int("BDPROTO_TRIALS")) {
+    return static_cast<int>(*n);
+  }
+  return full_mode() ? full_default : quick_default;
+}
+
+std::uint64_t base_seed() {
+  if (const auto n = env_int("BDPROTO_SEED")) {
+    return static_cast<std::uint64_t>(*n);
+  }
+  return 1234;
+}
+
+}  // namespace bd

@@ -1,0 +1,42 @@
+// Experiment-scale configuration sourced from the environment.
+//
+// Every experiment binary honours:
+//   BDPROTO_MODE=quick|full   (default quick)  - quick shrinks dataset sizes
+//                                                and epoch counts so the full
+//                                                bench suite runs on one core.
+//   BDPROTO_TRIALS=<n>        - overrides trials per setting.
+//   BDPROTO_SEED=<n>          - base seed for the whole experiment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bd {
+
+enum class RunMode { kQuick, kFull };
+
+/// Current run mode (reads BDPROTO_MODE once; defaults to quick).
+RunMode run_mode();
+
+/// True when run_mode() == kFull.
+bool full_mode();
+
+/// Environment override helpers.
+std::optional<std::string> env_string(const std::string& name);
+std::optional<std::int64_t> env_int(const std::string& name);
+
+/// Trials per experiment setting: BDPROTO_TRIALS if set, otherwise
+/// `full_default` in full mode and `quick_default` in quick mode.
+int trial_count(int quick_default, int full_default);
+
+/// Base seed for experiments: BDPROTO_SEED if set, otherwise 1234.
+std::uint64_t base_seed();
+
+/// Picks a scale-dependent value: quick-mode value vs full-mode value.
+template <typename T>
+T scaled(T quick_value, T full_value) {
+  return full_mode() ? full_value : quick_value;
+}
+
+}  // namespace bd

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Experiments log progress at Info; kernels and
+// inner loops stay quiet unless Debug is enabled (BDPROTO_LOG=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Initialized from the BDPROTO_LOG environment
+/// variable (debug|info|warn|error|off) on first use; defaults to Info.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: BD_LOG(Info) << "epoch " << e;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bd
+
+#define BD_LOG(severity) ::bd::LogMessage(::bd::LogLevel::k##severity)

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// All stochastic components (data synthesis, initialization, shuffling,
+// poisoning, defenses) draw from an explicitly seeded bd::Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256++, seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bd {
+
+/// Counter-based stateless mixer; used to derive independent seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ PRNG with convenience draws used across the library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace bd

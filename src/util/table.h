@@ -1,0 +1,29 @@
+// Fixed-column text table writer. The bench binaries use it to print the
+// same rows the paper's tables report (attack / SPC / defense / ACC / ASR /
+// RA), plus CSV output for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Aligned, pipe-separated table (markdown-compatible).
+  std::string to_string() const;
+
+  /// Comma-separated with header; commas in cells are replaced by ';'.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bd

@@ -1,0 +1,139 @@
+// Checkpoint tests: file round-trips across all architectures, corruption
+// handling, and cross-instance equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "models/factory.h"
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+
+namespace bd::nn {
+namespace {
+
+/// Temp file that cleans up after itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/bd_checkpoint_test_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Checkpoint, RoundTripSingleLayer) {
+  Rng rng(1);
+  Conv2d a(3, 4, 3, 1, 1, /*bias=*/true, rng);
+  Conv2d b(3, 4, 3, 1, 1, /*bias=*/true, rng);  // different init
+
+  TempFile file("single");
+  save_checkpoint(a, file.path());
+  load_checkpoint(b, file.path());
+
+  const auto sa = a.state_dict();
+  const auto sb = b.state_dict();
+  for (const auto& [name, tensor] : sa) {
+    const auto& other = sb.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], other[i]) << name;
+    }
+  }
+}
+
+class CheckpointZooTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointZooTest, ModelOutputsIdenticalAfterFileRoundTrip) {
+  Rng rng(2);
+  models::ModelSpec spec;
+  spec.arch = GetParam();
+  spec.base_width = 8;
+  auto a = models::make_model(spec, rng);
+  auto b = models::make_model(spec, rng);
+  a->set_training(false);
+  b->set_training(false);
+
+  TempFile file(std::string("zoo_") + GetParam());
+  save_checkpoint(*a, file.path());
+  load_checkpoint(*b, file.path());
+
+  Tensor x({2, 3, 12, 12});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+  }
+  const Tensor ya = a->forward(ag::Var(x)).value();
+  const Tensor yb = b->forward(ag::Var(x)).value();
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    ASSERT_EQ(ya[i], yb[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, CheckpointZooTest,
+                         ::testing::Values("preactresnet", "vgg",
+                                           "efficientnet", "mobilenet"));
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 1, 1, 0, false, rng);
+  EXPECT_THROW(load_checkpoint(conv, "/nonexistent/dir/x.ckpt"),
+               std::runtime_error);
+  EXPECT_THROW(save_checkpoint(conv, "/nonexistent/dir/x.ckpt"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, GarbageFileThrows) {
+  TempFile file("garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  Rng rng(4);
+  Conv2d conv(1, 1, 1, 1, 0, false, rng);
+  EXPECT_THROW(load_checkpoint(conv, file.path()), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  Rng rng(5);
+  Conv2d conv(3, 4, 3, 1, 1, true, rng);
+  TempFile file("truncated");
+  save_checkpoint(conv, file.path());
+
+  // Truncate to half length.
+  std::ifstream in(file.path(), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::string content(size / 2, '\0');
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  in.close();
+  std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+  out << content;
+  out.close();
+
+  Conv2d other(3, 4, 3, 1, 1, true, rng);
+  EXPECT_THROW(load_checkpoint(other, file.path()), std::runtime_error);
+}
+
+TEST(Checkpoint, WrongArchitectureThrows) {
+  Rng rng(6);
+  Conv2d conv(3, 4, 3, 1, 1, true, rng);
+  TempFile file("wrongarch");
+  save_checkpoint(conv, file.path());
+  Linear fc(4, 2, rng);
+  EXPECT_THROW(load_checkpoint(fc, file.path()), std::runtime_error);
+}
+
+TEST(Checkpoint, LoadStateExposesRawDict) {
+  Rng rng(7);
+  BatchNorm2d bn(4);
+  TempFile file("raw");
+  save_checkpoint(bn, file.path());
+  const auto state = load_state(file.path());
+  EXPECT_EQ(state.size(), 4u);  // gamma, beta, running_mean, running_var
+  EXPECT_TRUE(state.count("running_mean"));
+}
+
+}  // namespace
+}  // namespace bd::nn

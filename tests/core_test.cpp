@@ -1,0 +1,187 @@
+// Tests for the paper's core contribution: unlearning-gradient filter
+// scores (Eq. 3), the arg-max prune selection, stopping-rule bookkeeping,
+// and the interaction between pruning masks and the fine-tuning stage.
+#include <gtest/gtest.h>
+
+#include "attack/trigger.h"
+#include "core/grad_prune.h"
+#include "data/synth.h"
+#include "eval/metrics.h"
+#include "models/factory.h"
+#include "tensor/ops.h"
+
+namespace bd::core {
+namespace {
+
+struct Fixture {
+  Rng rng{202};
+  data::TrainTest data;
+  models::ModelSpec spec;
+  std::unique_ptr<models::Classifier> model;
+  attack::BadNetsTrigger trigger;
+  defense::DefenseContext ctx;
+
+  explicit Fixture(std::int64_t per_class = 6)
+      : data([this, per_class] {
+          data::SynthConfig cfg;
+          cfg.height = cfg.width = 10;
+          cfg.train_per_class = per_class;
+          cfg.test_per_class = 2;
+          return data::make_synth_cifar(cfg, rng);
+        }()),
+        spec{"vgg", 10, 3, 8},
+        model(models::make_model(spec, rng)),
+        ctx(defense::make_defense_context(data.train, trigger, spec, rng)) {}
+};
+
+TEST(ScoreFilters, CoversAllUnprunedFilters) {
+  Fixture f;
+  const auto scores =
+      score_filters(*f.model, f.ctx.backdoor_train, /*batch_size=*/16);
+  std::int64_t total_filters = 0;
+  for (auto* conv : f.model->modules_of_type<nn::Conv2d>()) {
+    total_filters += conv->out_channels();
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(scores.size()), total_filters);
+  for (const auto& s : scores) EXPECT_GE(s.xi, 0.0);
+}
+
+TEST(ScoreFilters, SkipsPrunedFilters) {
+  Fixture f;
+  auto convs = f.model->modules_of_type<nn::Conv2d>();
+  convs[0]->prune_filter(0);
+  convs[0]->prune_filter(3);
+  const auto scores =
+      score_filters(*f.model, f.ctx.backdoor_train, 16);
+  for (const auto& s : scores) {
+    if (s.conv_index == 0) {
+      EXPECT_NE(s.filter, 0);
+      EXPECT_NE(s.filter, 3);
+    }
+  }
+}
+
+TEST(ScoreFilters, DeterministicAcrossCalls) {
+  Fixture f;
+  const auto s1 = score_filters(*f.model, f.ctx.backdoor_train, 16);
+  const auto s2 = score_filters(*f.model, f.ctx.backdoor_train, 16);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1[i].xi, s2[i].xi, 1e-9) << i;
+  }
+}
+
+TEST(ScoreFilters, BatchSizeInvariant) {
+  // Eq. 2 is a SUM over the unlearning set, so the accumulated gradient -
+  // and therefore xi - must not depend on how the set is batched.
+  Fixture f;
+  const auto s1 = score_filters(*f.model, f.ctx.backdoor_train, 8);
+  const auto s2 = score_filters(*f.model, f.ctx.backdoor_train, 64);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1[i].xi, s2[i].xi, 1e-3 * (1.0 + s1[i].xi)) << i;
+  }
+}
+
+TEST(BestFilter, PicksArgMaxAndHandlesEmpty) {
+  EXPECT_FALSE(best_filter_to_prune({}).has_value());
+  const std::vector<FilterScore> scores{
+      {0, 1, 0.5}, {1, 2, 2.5}, {2, 0, 1.0}};
+  const auto best = best_filter_to_prune(scores);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->conv_index, 1u);
+  EXPECT_EQ(best->filter, 2);
+}
+
+TEST(GradPrune, DisabledStagesAreNoOp) {
+  Fixture f;
+  const auto before = f.model->state_dict();
+  GradPruneConfig cfg;
+  cfg.prune = false;
+  cfg.finetune = false;
+  GradPruneDefense defense(cfg);
+  const auto result = defense.apply(*f.model, f.ctx);
+  EXPECT_EQ(result.pruned_units, 0);
+  EXPECT_EQ(result.finetune_epochs, 0);
+  const auto after = f.model->state_dict();
+  for (const auto& [name, tensor] : before) {
+    const auto& other = after.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], other[i]) << name;
+    }
+  }
+}
+
+TEST(GradPrune, PruneOnlyZeroesReportedFilters) {
+  Fixture f;
+  GradPruneConfig cfg;
+  cfg.finetune = false;
+  cfg.max_prune_rounds = 5;
+  cfg.prune_patience = 3;
+  GradPruneDefense defense(cfg);
+  const auto result = defense.apply(*f.model, f.ctx);
+
+  std::int64_t flagged = 0;
+  for (auto* conv : f.model->modules_of_type<nn::Conv2d>()) {
+    flagged += conv->pruned_filter_count();
+    const Tensor& w = conv->weight().value();
+    const std::int64_t fsz = w.numel() / conv->out_channels();
+    for (std::int64_t c = 0; c < conv->out_channels(); ++c) {
+      if (!conv->is_filter_pruned(c)) continue;
+      for (std::int64_t j = 0; j < fsz; ++j) {
+        ASSERT_EQ(w[c * fsz + j], 0.0f);
+      }
+    }
+  }
+  EXPECT_EQ(flagged, result.pruned_units);
+  EXPECT_LE(result.pruned_units, 5);
+}
+
+TEST(GradPrune, MasksSurviveFinetuning) {
+  Fixture f;
+  GradPruneConfig cfg;
+  cfg.max_prune_rounds = 4;
+  cfg.prune_patience = 2;
+  cfg.finetune_max_epochs = 2;
+  GradPruneDefense defense(cfg);
+  const auto result = defense.apply(*f.model, f.ctx);
+  EXPECT_GT(result.finetune_epochs, 0);
+
+  for (auto* conv : f.model->modules_of_type<nn::Conv2d>()) {
+    const Tensor& w = conv->weight().value();
+    const std::int64_t fsz = w.numel() / conv->out_channels();
+    for (std::int64_t c = 0; c < conv->out_channels(); ++c) {
+      if (!conv->is_filter_pruned(c)) continue;
+      for (std::int64_t j = 0; j < fsz; ++j) {
+        ASSERT_EQ(w[c * fsz + j], 0.0f) << "filter weights resurrected";
+      }
+    }
+  }
+}
+
+TEST(GradPrune, AccuracyFloorLimitsPruning) {
+  // With alpha = 0 (no tolerated drop) pruning must stop almost
+  // immediately; with a huge patience it would otherwise run for many
+  // rounds.
+  Fixture f;
+  GradPruneConfig cfg;
+  cfg.alpha = 0.0;
+  cfg.prune_patience = 1000;
+  cfg.max_prune_rounds = 50;
+  cfg.finetune = false;
+  GradPruneDefense defense(cfg);
+  const auto result = defense.apply(*f.model, f.ctx);
+  EXPECT_LT(result.pruned_units, 50);
+}
+
+TEST(GradPrune, ConfigDefaultsAreThePaperDefaults) {
+  const GradPruneConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.alpha, 0.10);
+  EXPECT_EQ(cfg.prune_patience, 10);
+  EXPECT_EQ(cfg.finetune_patience, 5);
+  EXPECT_TRUE(cfg.prune);
+  EXPECT_TRUE(cfg.finetune);
+}
+
+}  // namespace
+}  // namespace bd::core

@@ -1,0 +1,146 @@
+// Trigger-inversion tests: optimization mechanics, applier semantics, and
+// the target-class scan on a genuinely backdoored model.
+#include <gtest/gtest.h>
+
+#include "attack/poison.h"
+#include "attack/trigger.h"
+#include "data/synth.h"
+#include "defense/inversion.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "models/factory.h"
+#include "tensor/ops.h"
+
+namespace bd::defense {
+namespace {
+
+/// A BadNets-backdoored tiny model shared by the expensive tests.
+struct BackdooredFixture {
+  Rng rng{777};
+  data::TrainTest data;
+  attack::BadNetsTrigger trigger;
+  models::ModelSpec spec{"vgg", 10, 3, 8};
+  std::unique_ptr<models::Classifier> model;
+  data::ImageDataset spc;
+
+  BackdooredFixture()
+      : data([this] {
+          data::SynthConfig cfg;
+          cfg.height = cfg.width = 10;
+          cfg.train_per_class = 40;
+          cfg.test_per_class = 8;
+          return data::make_synth_cifar(cfg, rng);
+        }()),
+        model(models::make_model(spec, rng)),
+        spc(data.train.sample_per_class(6, rng)) {
+    attack::PoisonConfig pcfg;  // target class 0
+    const auto poisoned =
+        attack::poison_training_set(data.train, trigger, pcfg, rng);
+    eval::TrainConfig tc;
+    tc.epochs = 3;
+    eval::train_classifier(*model, poisoned, tc, rng);
+  }
+};
+
+BackdooredFixture& fixture() {
+  static BackdooredFixture f;
+  return f;
+}
+
+TEST(Inversion, OutputsWellFormedTrigger) {
+  auto& f = fixture();
+  InversionConfig cfg;
+  cfg.iterations = 30;
+  const auto trig = invert_trigger(*f.model, f.spc, 0, cfg, f.rng);
+
+  EXPECT_EQ(trig.mask.shape(), (Shape{1, 10, 10}));
+  EXPECT_EQ(trig.pattern.shape(), (Shape{3, 10, 10}));
+  for (std::int64_t i = 0; i < trig.mask.numel(); ++i) {
+    EXPECT_GE(trig.mask[i], 0.0f);
+    EXPECT_LE(trig.mask[i], 1.0f);
+  }
+  for (std::int64_t i = 0; i < trig.pattern.numel(); ++i) {
+    EXPECT_GE(trig.pattern[i], 0.0f);
+    EXPECT_LE(trig.pattern[i], 1.0f);
+  }
+  EXPECT_EQ(trig.target_class, 0);
+  EXPECT_NEAR(trig.mask_l1, l1_norm(trig.mask), 1e-3);
+}
+
+TEST(Inversion, InvertedTriggerActuallyFlipsToTarget) {
+  // The recovered trigger should steer most clean images to the backdoor
+  // target - that is what makes it usable for unlearning.
+  auto& f = fixture();
+  InversionConfig cfg;
+  cfg.iterations = 80;
+  const auto trig = invert_trigger(*f.model, f.spc, 0, cfg, f.rng);
+  const InvertedTriggerApplier applier(trig);
+
+  data::ImageDataset flipped(f.data.test.image_shape(),
+                             f.data.test.num_classes());
+  for (std::size_t i = 0; i < f.data.test.size(); ++i) {
+    if (f.data.test.label(i) == 0) continue;
+    flipped.add(applier.apply(f.data.test.image(i)), 0);
+  }
+  const double asr = eval::accuracy(*f.model, flipped);
+  EXPECT_GT(asr, 0.7) << "inverted trigger should reach the target class";
+}
+
+TEST(Inversion, BackdooredTargetHasSmallerMaskThanCleanClass) {
+  // The backdoor shortcut means class 0 needs a much smaller mask than a
+  // clean class - the core Neural Cleanse signal.
+  auto& f = fixture();
+  InversionConfig cfg;
+  cfg.iterations = 60;
+  const auto target = invert_trigger(*f.model, f.spc, 0, cfg, f.rng);
+  const auto clean = invert_trigger(*f.model, f.spc, 5, cfg, f.rng);
+  EXPECT_LT(target.mask_l1, clean.mask_l1);
+}
+
+TEST(Inversion, ApplierValidation) {
+  InvertedTrigger bad;
+  EXPECT_THROW(InvertedTriggerApplier{bad}, std::invalid_argument);
+
+  InvertedTrigger ok;
+  ok.mask = Tensor::full({1, 4, 4}, 0.5f);
+  ok.pattern = Tensor::full({3, 4, 4}, 1.0f);
+  const InvertedTriggerApplier applier(ok);
+  const Tensor x = Tensor::zeros({3, 4, 4});
+  const Tensor y = applier.apply(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 0.5f);
+  EXPECT_THROW(applier.apply(Tensor::zeros({3, 5, 5})),
+               std::invalid_argument);
+  EXPECT_EQ(applier.name(), "inverted");
+}
+
+TEST(Inversion, RejectsEmptyCleanSet) {
+  auto& f = fixture();
+  const data::ImageDataset empty({3, 10, 10}, 10);
+  InversionConfig cfg;
+  EXPECT_THROW(invert_trigger(*f.model, empty, 0, cfg, f.rng),
+               std::invalid_argument);
+}
+
+TEST(InversionScan, BackdooredClassRanksAmongTopCandidates) {
+  // Classes with naturally small universal perturbations can tie with the
+  // true target at this tiny scale (a known Neural Cleanse failure mode),
+  // so the robust claim is: the true target ranks in the top-2 suspects.
+  auto& f = fixture();
+  InversionConfig cfg;
+  cfg.iterations = 60;
+  const auto scan = scan_for_backdoor_target(*f.model, f.spc, cfg, f.rng);
+  ASSERT_EQ(scan.per_class.size(), 10u);
+
+  const auto ranked = scan.ranked_candidates();
+  ASSERT_EQ(ranked.size(), 10u);
+  EXPECT_TRUE(ranked[0] == 0 || ranked[1] == 0)
+      << "true target ranked " << ranked[0] << "," << ranked[1] << ",...";
+  // Ranking is consistent with the mask L1 values.
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_LE(scan.per_class[static_cast<std::size_t>(ranked[i])].mask_l1,
+              scan.per_class[static_cast<std::size_t>(ranked[i + 1])].mask_l1);
+  }
+}
+
+}  // namespace
+}  // namespace bd::defense

@@ -1,0 +1,102 @@
+// Experiment-runner tests: scale configuration invariants and a miniature
+// end-to-end run through prepare_backdoored_model / run_setting with a
+// deliberately tiny custom scale.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/runner.h"
+#include "util/env.h"
+
+namespace bd::eval {
+namespace {
+
+ExperimentScale micro_scale() {
+  ExperimentScale s;
+  s.data.height = s.data.width = 8;
+  s.data.train_per_class = 8;
+  s.data.test_per_class = 2;
+  s.attack_train.epochs = 1;
+  s.base_width = 8;
+  s.spc_settings = {2};
+  s.trials = 1;
+  s.defense_max_epochs = 2;
+  s.prune_max_rounds = 3;
+  s.anp_iterations = 2;
+  s.nad_teacher_epochs = 1;
+  s.nad_distill_epochs = 1;
+  return s;
+}
+
+TEST(Scale, DefaultsAreInternallyConsistent) {
+  for (const char* dataset : {"cifar", "gtsrb"}) {
+    const ExperimentScale s = default_scale(dataset);
+    EXPECT_GT(s.trials, 0);
+    ASSERT_FALSE(s.spc_settings.empty());
+    // The clean pool must be able to supply the largest SPC setting.
+    EXPECT_GE(s.data.train_per_class, s.spc_settings.back());
+    EXPECT_GT(s.attack_train.epochs, 0);
+    EXPECT_GT(s.defense_max_epochs, 0);
+  }
+  EXPECT_THROW(default_scale("imagenet"), std::invalid_argument);
+}
+
+TEST(Scale, TrialsOverridableByEnv) {
+  setenv("BDPROTO_TRIALS", "7", 1);
+  EXPECT_EQ(default_scale("cifar").trials, 7);
+  unsetenv("BDPROTO_TRIALS");
+}
+
+TEST(Runner, MicroExperimentEndToEnd) {
+  const ExperimentScale scale = micro_scale();
+  const BackdooredModel bd =
+      prepare_backdoored_model("cifar", "vgg", "badnet", scale, 42);
+
+  EXPECT_EQ(bd.dataset, "cifar");
+  EXPECT_EQ(bd.attack, "badnet");
+  EXPECT_FALSE(bd.state.empty());
+  EXPECT_FALSE(bd.clean_test.empty());
+  EXPECT_FALSE(bd.asr_test.empty());
+  EXPECT_EQ(bd.asr_test.size(), bd.ra_test.size());
+  // Metrics are percentages within range; invariant holds.
+  EXPECT_LE(bd.baseline.asr + bd.baseline.ra, 100.0 + 1e-9);
+
+  // Instantiate reproduces the stored weights.
+  Rng rng(1);
+  auto m1 = bd.instantiate(rng);
+  auto m2 = bd.instantiate(rng);
+  const auto s1 = m1->state_dict();
+  const auto s2 = m2->state_dict();
+  for (const auto& [name, tensor] : s1) {
+    const auto& other = s2.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], other[i]) << name;
+    }
+  }
+
+  // One defense setting runs end-to-end and aggregates per-trial vectors.
+  const SettingResult setting = run_setting(bd, "clp", 2, scale, 7);
+  EXPECT_EQ(setting.attack, "badnet");
+  EXPECT_EQ(setting.defense, "clp");
+  ASSERT_EQ(setting.acc.size(), 1u);
+  ASSERT_EQ(setting.seconds.size(), 1u);
+  EXPECT_GE(setting.acc[0], 0.0);
+  EXPECT_LE(setting.acc[0], 100.0);
+  EXPECT_LE(setting.asr[0] + setting.ra[0], 100.0 + 1e-9);
+}
+
+TEST(Runner, EveryRegisteredDefenseRunsAtMicroScale) {
+  const ExperimentScale scale = micro_scale();
+  const BackdooredModel bd =
+      prepare_backdoored_model("cifar", "vgg", "blended", scale, 43);
+  for (const char* defense :
+       {"ft", "fp", "nad", "clp", "ftsam", "anp", "gradprune"}) {
+    const TrialResult trial = run_defense_trial(bd, defense, 2, scale, 11);
+    EXPECT_GE(trial.metrics.acc, 0.0) << defense;
+    EXPECT_LE(trial.metrics.asr + trial.metrics.ra, 100.0 + 1e-9) << defense;
+    EXPECT_GE(trial.info.seconds, 0.0) << defense;
+  }
+}
+
+}  // namespace
+}  // namespace bd::eval
