@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/util")
+subdirs("src/tensor")
+subdirs("src/autograd")
+subdirs("src/nn")
+subdirs("src/optim")
+subdirs("src/data")
+subdirs("src/attack")
+subdirs("src/models")
+subdirs("src/defense")
+subdirs("src/core")
+subdirs("src/eval")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

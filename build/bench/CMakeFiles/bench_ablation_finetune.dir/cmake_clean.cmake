@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_finetune.dir/bench_ablation_finetune.cpp.o"
+  "CMakeFiles/bench_ablation_finetune.dir/bench_ablation_finetune.cpp.o.d"
+  "bench_ablation_finetune"
+  "bench_ablation_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

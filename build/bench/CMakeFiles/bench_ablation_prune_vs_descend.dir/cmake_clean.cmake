@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prune_vs_descend.dir/bench_ablation_prune_vs_descend.cpp.o"
+  "CMakeFiles/bench_ablation_prune_vs_descend.dir/bench_ablation_prune_vs_descend.cpp.o.d"
+  "bench_ablation_prune_vs_descend"
+  "bench_ablation_prune_vs_descend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prune_vs_descend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stopping.dir/bench_ablation_stopping.cpp.o"
+  "CMakeFiles/bench_ablation_stopping.dir/bench_ablation_stopping.cpp.o.d"
+  "bench_ablation_stopping"
+  "bench_ablation_stopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamic_trigger.dir/bench_ext_dynamic_trigger.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_trigger.dir/bench_ext_dynamic_trigger.cpp.o.d"
+  "bench_ext_dynamic_trigger"
+  "bench_ext_dynamic_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_inversion.dir/bench_ext_inversion.cpp.o"
+  "CMakeFiles/bench_ext_inversion.dir/bench_ext_inversion.cpp.o.d"
+  "bench_ext_inversion"
+  "bench_ext_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cifar_preactresnet.dir/bench_table1_cifar_preactresnet.cpp.o"
+  "CMakeFiles/bench_table1_cifar_preactresnet.dir/bench_table1_cifar_preactresnet.cpp.o.d"
+  "bench_table1_cifar_preactresnet"
+  "bench_table1_cifar_preactresnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cifar_preactresnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

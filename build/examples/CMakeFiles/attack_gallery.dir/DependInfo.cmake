@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attack_gallery.cpp" "examples/CMakeFiles/attack_gallery.dir/attack_gallery.cpp.o" "gcc" "examples/CMakeFiles/attack_gallery.dir/attack_gallery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/bd_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/bd_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/bd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/bd_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/bd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/bd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

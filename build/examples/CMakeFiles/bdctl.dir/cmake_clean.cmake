@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdctl.dir/bdctl.cpp.o"
+  "CMakeFiles/bdctl.dir/bdctl.cpp.o.d"
+  "bdctl"
+  "bdctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bdctl.
+# This may be replaced when dependencies are built.

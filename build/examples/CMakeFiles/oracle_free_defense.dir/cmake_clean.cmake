@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_free_defense.dir/oracle_free_defense.cpp.o"
+  "CMakeFiles/oracle_free_defense.dir/oracle_free_defense.cpp.o.d"
+  "oracle_free_defense"
+  "oracle_free_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_free_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

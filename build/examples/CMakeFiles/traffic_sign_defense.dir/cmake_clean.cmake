@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sign_defense.dir/traffic_sign_defense.cpp.o"
+  "CMakeFiles/traffic_sign_defense.dir/traffic_sign_defense.cpp.o.d"
+  "traffic_sign_defense"
+  "traffic_sign_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sign_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlearning_inspector.dir/unlearning_inspector.cpp.o"
+  "CMakeFiles/unlearning_inspector.dir/unlearning_inspector.cpp.o.d"
+  "unlearning_inspector"
+  "unlearning_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearning_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

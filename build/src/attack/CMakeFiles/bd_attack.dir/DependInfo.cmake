@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/poison.cpp" "src/attack/CMakeFiles/bd_attack.dir/poison.cpp.o" "gcc" "src/attack/CMakeFiles/bd_attack.dir/poison.cpp.o.d"
+  "/root/repo/src/attack/trigger.cpp" "src/attack/CMakeFiles/bd_attack.dir/trigger.cpp.o" "gcc" "src/attack/CMakeFiles/bd_attack.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/bd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_attack.dir/poison.cpp.o"
+  "CMakeFiles/bd_attack.dir/poison.cpp.o.d"
+  "CMakeFiles/bd_attack.dir/trigger.cpp.o"
+  "CMakeFiles/bd_attack.dir/trigger.cpp.o.d"
+  "libbd_attack.a"
+  "libbd_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_autograd.dir/ops.cpp.o"
+  "CMakeFiles/bd_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/bd_autograd.dir/variable.cpp.o"
+  "CMakeFiles/bd_autograd.dir/variable.cpp.o.d"
+  "libbd_autograd.a"
+  "libbd_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

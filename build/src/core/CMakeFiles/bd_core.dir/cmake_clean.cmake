@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_core.dir/grad_prune.cpp.o"
+  "CMakeFiles/bd_core.dir/grad_prune.cpp.o.d"
+  "CMakeFiles/bd_core.dir/registry.cpp.o"
+  "CMakeFiles/bd_core.dir/registry.cpp.o.d"
+  "libbd_core.a"
+  "libbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_data.dir/augment.cpp.o"
+  "CMakeFiles/bd_data.dir/augment.cpp.o.d"
+  "CMakeFiles/bd_data.dir/dataset.cpp.o"
+  "CMakeFiles/bd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/bd_data.dir/synth.cpp.o"
+  "CMakeFiles/bd_data.dir/synth.cpp.o.d"
+  "libbd_data.a"
+  "libbd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/anp.cpp" "src/defense/CMakeFiles/bd_defense.dir/anp.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/anp.cpp.o.d"
+  "/root/repo/src/defense/clp.cpp" "src/defense/CMakeFiles/bd_defense.dir/clp.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/clp.cpp.o.d"
+  "/root/repo/src/defense/defense.cpp" "src/defense/CMakeFiles/bd_defense.dir/defense.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/defense.cpp.o.d"
+  "/root/repo/src/defense/fine_pruning.cpp" "src/defense/CMakeFiles/bd_defense.dir/fine_pruning.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/fine_pruning.cpp.o.d"
+  "/root/repo/src/defense/finetune.cpp" "src/defense/CMakeFiles/bd_defense.dir/finetune.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/finetune.cpp.o.d"
+  "/root/repo/src/defense/ftsam.cpp" "src/defense/CMakeFiles/bd_defense.dir/ftsam.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/ftsam.cpp.o.d"
+  "/root/repo/src/defense/inversion.cpp" "src/defense/CMakeFiles/bd_defense.dir/inversion.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/inversion.cpp.o.d"
+  "/root/repo/src/defense/nad.cpp" "src/defense/CMakeFiles/bd_defense.dir/nad.cpp.o" "gcc" "src/defense/CMakeFiles/bd_defense.dir/nad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/bd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/bd_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/bd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/bd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_defense.dir/anp.cpp.o"
+  "CMakeFiles/bd_defense.dir/anp.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/clp.cpp.o"
+  "CMakeFiles/bd_defense.dir/clp.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/defense.cpp.o"
+  "CMakeFiles/bd_defense.dir/defense.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/fine_pruning.cpp.o"
+  "CMakeFiles/bd_defense.dir/fine_pruning.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/finetune.cpp.o"
+  "CMakeFiles/bd_defense.dir/finetune.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/ftsam.cpp.o"
+  "CMakeFiles/bd_defense.dir/ftsam.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/inversion.cpp.o"
+  "CMakeFiles/bd_defense.dir/inversion.cpp.o.d"
+  "CMakeFiles/bd_defense.dir/nad.cpp.o"
+  "CMakeFiles/bd_defense.dir/nad.cpp.o.d"
+  "libbd_defense.a"
+  "libbd_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

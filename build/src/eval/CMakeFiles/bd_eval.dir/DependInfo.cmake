@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/bd_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/bd_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/trainer.cpp" "src/eval/CMakeFiles/bd_eval.dir/trainer.cpp.o" "gcc" "src/eval/CMakeFiles/bd_eval.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/bd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/bd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/bd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_eval.dir/metrics.cpp.o"
+  "CMakeFiles/bd_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/bd_eval.dir/trainer.cpp.o"
+  "CMakeFiles/bd_eval.dir/trainer.cpp.o.d"
+  "libbd_eval.a"
+  "libbd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_experiment.dir/runner.cpp.o"
+  "CMakeFiles/bd_experiment.dir/runner.cpp.o.d"
+  "CMakeFiles/bd_experiment.dir/table_bench.cpp.o"
+  "CMakeFiles/bd_experiment.dir/table_bench.cpp.o.d"
+  "libbd_experiment.a"
+  "libbd_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

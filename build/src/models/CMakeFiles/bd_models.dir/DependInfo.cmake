@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/efficientnet.cpp" "src/models/CMakeFiles/bd_models.dir/efficientnet.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/efficientnet.cpp.o.d"
+  "/root/repo/src/models/factory.cpp" "src/models/CMakeFiles/bd_models.dir/factory.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/factory.cpp.o.d"
+  "/root/repo/src/models/mbconv.cpp" "src/models/CMakeFiles/bd_models.dir/mbconv.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/mbconv.cpp.o.d"
+  "/root/repo/src/models/mobilenet.cpp" "src/models/CMakeFiles/bd_models.dir/mobilenet.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/mobilenet.cpp.o.d"
+  "/root/repo/src/models/preact_resnet.cpp" "src/models/CMakeFiles/bd_models.dir/preact_resnet.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/preact_resnet.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/models/CMakeFiles/bd_models.dir/vgg.cpp.o" "gcc" "src/models/CMakeFiles/bd_models.dir/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/bd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/bd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_models.dir/efficientnet.cpp.o"
+  "CMakeFiles/bd_models.dir/efficientnet.cpp.o.d"
+  "CMakeFiles/bd_models.dir/factory.cpp.o"
+  "CMakeFiles/bd_models.dir/factory.cpp.o.d"
+  "CMakeFiles/bd_models.dir/mbconv.cpp.o"
+  "CMakeFiles/bd_models.dir/mbconv.cpp.o.d"
+  "CMakeFiles/bd_models.dir/mobilenet.cpp.o"
+  "CMakeFiles/bd_models.dir/mobilenet.cpp.o.d"
+  "CMakeFiles/bd_models.dir/preact_resnet.cpp.o"
+  "CMakeFiles/bd_models.dir/preact_resnet.cpp.o.d"
+  "CMakeFiles/bd_models.dir/vgg.cpp.o"
+  "CMakeFiles/bd_models.dir/vgg.cpp.o.d"
+  "libbd_models.a"
+  "libbd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

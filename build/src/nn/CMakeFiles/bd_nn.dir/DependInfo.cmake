@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/bd_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/bd_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/bd_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/bd_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/bd_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/bd_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/bd_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/bd_nn.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/bd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

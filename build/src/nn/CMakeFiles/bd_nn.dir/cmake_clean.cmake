@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/bd_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/bd_nn.dir/layers.cpp.o"
+  "CMakeFiles/bd_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/bd_nn.dir/module.cpp.o"
+  "CMakeFiles/bd_nn.dir/module.cpp.o.d"
+  "CMakeFiles/bd_nn.dir/summary.cpp.o"
+  "CMakeFiles/bd_nn.dir/summary.cpp.o.d"
+  "libbd_nn.a"
+  "libbd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_optim.dir/optim.cpp.o"
+  "CMakeFiles/bd_optim.dir/optim.cpp.o.d"
+  "libbd_optim.a"
+  "libbd_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_tensor.dir/conv.cpp.o"
+  "CMakeFiles/bd_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/bd_tensor.dir/ops.cpp.o"
+  "CMakeFiles/bd_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/bd_tensor.dir/pool.cpp.o"
+  "CMakeFiles/bd_tensor.dir/pool.cpp.o.d"
+  "CMakeFiles/bd_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/bd_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/bd_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/bd_tensor.dir/tensor.cpp.o.d"
+  "libbd_tensor.a"
+  "libbd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_util.dir/env.cpp.o"
+  "CMakeFiles/bd_util.dir/env.cpp.o.d"
+  "CMakeFiles/bd_util.dir/logging.cpp.o"
+  "CMakeFiles/bd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bd_util.dir/rng.cpp.o"
+  "CMakeFiles/bd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bd_util.dir/stats.cpp.o"
+  "CMakeFiles/bd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bd_util.dir/table.cpp.o"
+  "CMakeFiles/bd_util.dir/table.cpp.o.d"
+  "libbd_util.a"
+  "libbd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_grad_test.dir/layer_grad_test.cpp.o"
+  "CMakeFiles/layer_grad_test.dir/layer_grad_test.cpp.o.d"
+  "layer_grad_test"
+  "layer_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
