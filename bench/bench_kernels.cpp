@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "models/factory.h"
 #include "nn/layers.h"
+#include "runtime/thread_pool.h"
 #include "tensor/conv.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
@@ -31,6 +32,37 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+// Thread-scaling variants: Arg is the bd::runtime pool size, forced via the
+// set_thread_count() hook. Wall-clock (real time) is the honest metric for
+// multi-worker kernels; the determinism contract means the outputs are
+// bitwise identical across all three settings.
+void BM_MatmulParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  bd::runtime::set_thread_count(threads);
+  bd::Rng rng(7);
+  const bd::Tensor a = random_tensor({128, 128}, rng);
+  const bd::Tensor b = random_tensor({128, 128}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bd::matmul(a, b));
+  }
+  bd::runtime::set_thread_count(0);
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 128);
+}
+BENCHMARK(BM_MatmulParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_Conv2dForwardParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  bd::runtime::set_thread_count(threads);
+  bd::Rng rng(8);
+  const bd::Tensor x = random_tensor({8, 16, 16, 16}, rng);
+  const bd::Tensor w = random_tensor({16, 16, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bd::conv2d_forward(x, w, bd::Tensor(), {1, 1}));
+  }
+  bd::runtime::set_thread_count(0);
+}
+BENCHMARK(BM_Conv2dForwardParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_Conv2dForward(benchmark::State& state) {
   const std::int64_t c = state.range(0);

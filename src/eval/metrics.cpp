@@ -1,6 +1,9 @@
 #include "eval/metrics.h"
 
+#include <atomic>
+
 #include "autograd/ops.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace bd::eval {
@@ -37,9 +40,20 @@ double accuracy(models::Classifier& model, const data::ImageDataset& dataset,
   while (loader.next(batch)) {
     const ag::Var logits = model.forward(ag::Var(batch.images));
     const auto preds = argmax_rows(logits.value());
-    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
-      if (preds[i] == batch.labels[i]) ++correct;
-    }
+    // Integer tallies are order-independent, so a per-chunk count folded
+    // through an atomic stays deterministic for any thread count.
+    std::atomic<std::int64_t> batch_correct{0};
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(batch.labels.size()), 256,
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t local = 0;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            if (preds[idx] == batch.labels[idx]) ++local;
+          }
+          batch_correct.fetch_add(local, std::memory_order_relaxed);
+        });
+    correct += batch_correct.load(std::memory_order_relaxed);
   }
   return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }

@@ -5,7 +5,13 @@
 #include "autograd/ops.h"
 #include "eval/metrics.h"
 #include "optim/optim.h"
+#include "runtime/thread_pool.h"
 #include "util/logging.h"
+
+// Batch work (forward/backward kernels, metric evaluation) executes on the
+// bd::runtime parallel engine; the loops below stay sequential because SGD
+// steps and RNG draws are order-dependent. Results are bitwise identical
+// for every BDPROTO_THREADS setting (see runtime/thread_pool.h).
 
 namespace bd::eval {
 
@@ -16,6 +22,10 @@ double train_classifier(models::Classifier& model,
     throw std::invalid_argument("train_classifier: empty training set");
   }
   model.set_training(true);
+  if (config.verbose) {
+    BD_LOG(Info) << "training on " << runtime::thread_count()
+                 << " runtime thread(s)";
+  }
   optim::SgdOptions opts;
   opts.lr = config.lr;
   opts.momentum = config.momentum;

@@ -1,0 +1,181 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+
+namespace bd::runtime {
+
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+// Marks the calling thread as inside a parallel region for its lifetime;
+// nested parallel_for calls observe the flag and run serially.
+class RegionGuard {
+ public:
+  RegionGuard() : prev_(t_in_parallel) { t_in_parallel = true; }
+  ~RegionGuard() { t_in_parallel = prev_; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+bool in_parallel_region() { return t_in_parallel; }
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      ++active_;
+    }
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --active_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  RegionGuard guard;
+  for (;;) {
+    const std::int64_t k = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (k >= num_chunks_) break;
+    if (!failed_.load(std::memory_order_relaxed)) {
+      const std::int64_t lo = begin_ + k * grain_;
+      const std::int64_t hi = std::min(end_, lo + grain_);
+      try {
+        fn_(ctx_, lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    done_chunks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain, ChunkFn fn, void* ctx) {
+  if (end <= begin) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (t_in_parallel || workers_.empty() || end - begin <= grain) {
+    RegionGuard guard;
+    fn(ctx, begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  {
+    // Wait until no straggler from a previous job is still inside
+    // run_chunks before mutating the (non-atomic) job fields.
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] { return active_ == 0; });
+    fn_ = fn;
+    ctx_ = ctx;
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain;
+    num_chunks_ = (end - begin + grain - 1) / grain;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++job_seq_;
+    ++active_;  // the caller participates
+  }
+  cv_start_.notify_all();
+  run_chunks();
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    --active_;
+    cv_done_.wait(lk, [&] {
+      return done_chunks_.load(std::memory_order_acquire) == num_chunks_;
+    });
+  }
+  cv_done_.notify_all();
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_override = 0;  // 0 = no override, use the environment default
+
+int desired_threads_locked() {
+  return g_override > 0 ? g_override : bd::thread_count();
+}
+
+ThreadPool* pool_locked() {
+  const int want = desired_threads_locked();
+  if (!g_pool || g_pool->thread_count() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int thread_count() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  return desired_threads_locked();
+}
+
+void set_thread_count(int n) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_override = n > 0 ? n : 0;
+  g_pool.reset();  // rebuilt lazily by the next parallel_for
+}
+
+void parallel_for_impl(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, ChunkFn fn, void* ctx) {
+  if (end <= begin) return;
+  if (t_in_parallel) {
+    // Nested region: run serially without touching the pool lock.
+    RegionGuard guard;
+    fn(ctx, begin, end);
+    return;
+  }
+  ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    pool = pool_locked();
+  }
+  pool->parallel_for(begin, end, grain, fn, ctx);
+}
+
+}  // namespace bd::runtime

@@ -1,0 +1,126 @@
+// bd::runtime — deterministic parallel runtime for the tensor engine.
+//
+// A persistent, lazily-initialized pool of worker threads exposing
+// parallel_for(begin, end, grain, fn) over index ranges.
+//
+// Determinism contract: [begin, end) is split into fixed grain-sized chunks
+// whose boundaries depend only on (begin, end, grain) — never on the worker
+// count — and every chunk runs the same serial body. Callers must keep
+// per-index work disjoint (no shared float accumulators across chunks); any
+// cross-chunk reduction is done by the caller afterwards in chunk order.
+// Under that contract results are bitwise identical for every value of
+// BDPROTO_THREADS, and BDPROTO_THREADS=1 is exactly the legacy serial path.
+//
+// Thread-count resolution: set_thread_count() override (test/bench hook),
+// else BDPROTO_THREADS, else hardware_concurrency; always clamped to >= 1.
+// A count of 1 spawns no workers and runs everything inline. Nested
+// parallel_for calls (from inside a running chunk) execute serially on the
+// calling thread. Exceptions thrown by the body are captured and the first
+// one is rethrown at the parallel_for call site.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bd::runtime {
+
+/// Chunk body: processes [chunk_begin, chunk_end) with `ctx` as closure state.
+using ChunkFn = void (*)(void* ctx, std::int64_t chunk_begin,
+                         std::int64_t chunk_end);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates as the last one).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Runs fn over grain-sized chunks of [begin, end); blocks until done.
+  /// Rethrows the first exception raised by a chunk. Chunk boundaries are
+  /// independent of the worker count (see determinism contract above).
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    ChunkFn fn, void* ctx);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  // Serializes concurrent parallel_for callers (one job at a time).
+  std::mutex job_mutex_;
+
+  // Job state; mutated only under mutex_ while no thread is inside
+  // run_chunks (active_ == 0).
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t job_seq_ = 0;
+  int active_ = 0;
+
+  ChunkFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t num_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<std::int64_t> done_chunks_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+};
+
+/// Effective thread count (override, else BDPROTO_THREADS, else hardware).
+int thread_count();
+
+/// Test/bench hook: forces the pool to `n` threads (rebuilt lazily);
+/// n <= 0 restores the environment-resolved default.
+void set_thread_count(int n);
+
+/// True while the calling thread is executing inside a parallel_for chunk.
+bool in_parallel_region();
+
+/// Type-erased core used by the template below (global lazily-built pool).
+void parallel_for_impl(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, ChunkFn fn, void* ctx);
+
+/// Runs `fn(chunk_begin, chunk_end)` over grain-sized chunks of [begin, end)
+/// on the global pool. Serial when the range fits one grain, the pool has a
+/// single thread, or the call is nested inside another parallel_for.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Fn&& fn) {
+  using F = std::remove_reference_t<Fn>;
+  parallel_for_impl(
+      begin, end, grain,
+      [](void* ctx, std::int64_t lo, std::int64_t hi) {
+        (*static_cast<F*>(ctx))(lo, hi);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+}
+
+/// Grain size targeting ~`target` units of per-chunk work when one index
+/// costs `per_item_cost` units. Depends only on the workload shape, so chunk
+/// boundaries stay thread-count-invariant.
+inline std::int64_t grain_for_cost(std::int64_t per_item_cost,
+                                   std::int64_t target = std::int64_t{1}
+                                                         << 15) {
+  const std::int64_t cost = per_item_cost > 0 ? per_item_cost : 1;
+  const std::int64_t grain = target / cost;
+  return grain > 0 ? grain : 1;
+}
+
+}  // namespace bd::runtime

@@ -1,7 +1,9 @@
 #include "tensor/conv.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace bd {
@@ -125,23 +127,23 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const Tensor wmat = weight.reshape({cout, cin * kh * kw});
   Tensor out({n, cout, oh, ow});
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    const Tensor cols = im2col(input, i, kh, kw, spec);
-    const Tensor res = matmul(wmat, cols);  // (cout, oh*ow)
-    float* po = out.data() + i * cout * oh * ow;
-    std::copy(res.data(), res.data() + res.numel(), po);
-  }
-
-  if (bias.defined()) {
-    float* po = out.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t c = 0; c < cout; ++c) {
-        const float b = bias[c];
-        float* plane = po + (i * cout + c) * oh * ow;
-        for (std::int64_t j = 0; j < oh * ow; ++j) plane[j] += b;
+  // Samples write disjoint output slices, so the batch dimension
+  // parallelizes directly; the matmul inside runs serially (nested region).
+  runtime::parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const Tensor cols = im2col(input, i, kh, kw, spec);
+      const Tensor res = matmul(wmat, cols);  // (cout, oh*ow)
+      float* po = out.data() + i * cout * oh * ow;
+      std::copy(res.data(), res.data() + res.numel(), po);
+      if (bias.defined()) {
+        for (std::int64_t c = 0; c < cout; ++c) {
+          const float b = bias[c];
+          float* plane = po + c * oh * ow;
+          for (std::int64_t j = 0; j < oh * ow; ++j) plane[j] += b;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -161,26 +163,48 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   Tensor grad_wmat({cout, cin * kh * kw});
   if (has_bias) grads.grad_bias = Tensor({cout});
 
+  // grad_input slices are sample-disjoint, but grad_weight/grad_bias sum
+  // across the batch. Each sample computes its contribution into a private
+  // buffer; the reduction below runs serially in sample order, making the
+  // result bitwise identical to the legacy serial loop for any thread count.
+  std::vector<Tensor> gw_partial(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> gb_partial(
+      static_cast<std::size_t>(has_bias ? n : 0));
+
+  runtime::parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // View of this sample's output gradient as (cout, oh*ow).
+      Tensor go({cout, oh * ow});
+      const float* pg = grad_output.data() + i * cout * oh * ow;
+      std::copy(pg, pg + cout * oh * ow, go.data());
+
+      const Tensor cols = im2col(input, i, kh, kw, spec);
+      // dW_i = dOut * colsT
+      const Tensor cols_t = transpose2d(cols);
+      gw_partial[static_cast<std::size_t>(i)] = matmul(go, cols_t);
+      // dX_cols = W^T * dOut ; fold back
+      const Tensor dcols = matmul(wmat_t, go);
+      col2im_accumulate(dcols, grads.grad_input, i, kh, kw, spec);
+
+      if (has_bias) {
+        std::vector<float> gb(static_cast<std::size_t>(cout));
+        for (std::int64_t c = 0; c < cout; ++c) {
+          const float* row = go.data() + c * oh * ow;
+          double s = 0.0;
+          for (std::int64_t j = 0; j < oh * ow; ++j) s += row[j];
+          gb[static_cast<std::size_t>(c)] = static_cast<float>(s);
+        }
+        gb_partial[static_cast<std::size_t>(i)] = std::move(gb);
+      }
+    }
+  });
+
   for (std::int64_t i = 0; i < n; ++i) {
-    // View of this sample's output gradient as (cout, oh*ow).
-    Tensor go({cout, oh * ow});
-    const float* pg = grad_output.data() + i * cout * oh * ow;
-    std::copy(pg, pg + cout * oh * ow, go.data());
-
-    const Tensor cols = im2col(input, i, kh, kw, spec);
-    // dW += dOut * colsT
-    const Tensor cols_t = transpose2d(cols);
-    axpy_inplace(grad_wmat, 1.0f, matmul(go, cols_t));
-    // dX_cols = W^T * dOut ; fold back
-    const Tensor dcols = matmul(wmat_t, go);
-    col2im_accumulate(dcols, grads.grad_input, i, kh, kw, spec);
-
+    axpy_inplace(grad_wmat, 1.0f, gw_partial[static_cast<std::size_t>(i)]);
     if (has_bias) {
+      const auto& gb = gb_partial[static_cast<std::size_t>(i)];
       for (std::int64_t c = 0; c < cout; ++c) {
-        const float* row = go.data() + c * oh * ow;
-        double s = 0.0;
-        for (std::int64_t j = 0; j < oh * ow; ++j) s += row[j];
-        grads.grad_bias[c] += static_cast<float>(s);
+        grads.grad_bias[c] += gb[static_cast<std::size_t>(c)];
       }
     }
   }
@@ -198,29 +222,34 @@ Tensor depthwise_conv2d_forward(const Tensor& input, const Tensor& weight,
   const std::int64_t ow = conv_out_size(w, kw, spec.stride, spec.padding);
 
   Tensor out({n, c, oh, ow});
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* chan = input.data() + (i * c + ch) * h * w;
-      const float* ker = weight.data() + ch * kh * kw;
-      const float b = bias.defined() ? bias[ch] : 0.0f;
-      float* ochan = out.data() + (i * c + ch) * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          float acc = b;
-          for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              if (ix < 0 || ix >= w) continue;
-              acc += chan[iy * w + ix] * ker[ky * kw + kx];
+  // Every (sample, channel) plane is independent; parallelize over the
+  // flattened plane index.
+  runtime::parallel_for(
+      0, n * c, runtime::grain_for_cost(oh * ow * kh * kw),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const std::int64_t ch = p % c;
+          const float* chan = input.data() + p * h * w;
+          const float* ker = weight.data() + ch * kh * kw;
+          const float b = bias.defined() ? bias[ch] : 0.0f;
+          float* ochan = out.data() + p * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              float acc = b;
+              for (std::int64_t ky = 0; ky < kh; ++ky) {
+                const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < kw; ++kx) {
+                  const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += chan[iy * w + ix] * ker[ky * kw + kx];
+                }
+              }
+              ochan[oy * ow + ox] = acc;
             }
           }
-          ochan[oy * ow + ox] = acc;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -238,33 +267,43 @@ Conv2dGrads depthwise_conv2d_backward(const Tensor& input,
   grads.grad_weight = Tensor(weight.shape());
   if (has_bias) grads.grad_bias = Tensor({c});
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* chan = input.data() + (i * c + ch) * h * w;
-      const float* ker = weight.data() + ch * kh * kw;
-      const float* gchan = grad_output.data() + (i * c + ch) * oh * ow;
-      float* gin = grads.grad_input.data() + (i * c + ch) * h * w;
-      float* gker = grads.grad_weight.data() + ch * kh * kw;
-      double gbias = 0.0;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          const float g = gchan[oy * ow + ox];
-          gbias += g;
-          for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              if (ix < 0 || ix >= w) continue;
-              gin[iy * w + ix] += g * ker[ky * kw + kx];
-              gker[ky * kw + kx] += g * chan[iy * w + ix];
+  // Kernel and bias gradients accumulate across the batch per channel, so
+  // parallelize over channels and keep the per-channel sample loop serial:
+  // each grad element still sees its additions in the original i-ascending
+  // order, and grad_input planes stay disjoint — bitwise identical to the
+  // legacy serial loop for any thread count.
+  runtime::parallel_for(
+      0, c, runtime::grain_for_cost(n * oh * ow * kh * kw),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t ch = lo; ch < hi; ++ch) {
+          const float* ker = weight.data() + ch * kh * kw;
+          float* gker = grads.grad_weight.data() + ch * kh * kw;
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float* chan = input.data() + (i * c + ch) * h * w;
+            const float* gchan = grad_output.data() + (i * c + ch) * oh * ow;
+            float* gin = grads.grad_input.data() + (i * c + ch) * h * w;
+            double gbias = 0.0;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const float g = gchan[oy * ow + ox];
+                gbias += g;
+                for (std::int64_t ky = 0; ky < kh; ++ky) {
+                  const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+                  if (iy < 0 || iy >= h) continue;
+                  for (std::int64_t kx = 0; kx < kw; ++kx) {
+                    const std::int64_t ix =
+                        ox * spec.stride - spec.padding + kx;
+                    if (ix < 0 || ix >= w) continue;
+                    gin[iy * w + ix] += g * ker[ky * kw + kx];
+                    gker[ky * kw + kx] += g * chan[iy * w + ix];
+                  }
+                }
+              }
             }
+            if (has_bias) grads.grad_bias[ch] += static_cast<float>(gbias);
           }
         }
-      }
-      if (has_bias) grads.grad_bias[ch] += static_cast<float>(gbias);
-    }
-  }
+      });
   return grads;
 }
 

@@ -4,9 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace bd {
 
 namespace {
+
+// Minimum per-chunk element count for parallel elementwise/broadcast loops.
+// Chunks below this run serially inside parallel_for, so small tensors pay
+// (almost) nothing. Depends only on this constant, never on thread count,
+// keeping chunk boundaries — and therefore results — thread-count-invariant.
+constexpr std::int64_t kElemwiseGrain = std::int64_t{1} << 15;
 
 // Right-aligned shape padded to `rank` with leading 1s.
 Shape pad_shape(const Shape& s, std::size_t rank) {
@@ -100,8 +108,12 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b,
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    runtime::parallel_for(0, a.numel(), kElemwiseGrain,
+                          [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i) {
+                              po[i] = f(pa[i], pb[i]);
+                            }
+                          });
     return out;
   }
   // Fast path: b is a scalar tensor.
@@ -110,8 +122,12 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b,
     Tensor out(a.shape());
     const float* pa = a.data();
     float* po = out.data();
-    const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], s);
+    runtime::parallel_for(0, a.numel(), kElemwiseGrain,
+                          [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i) {
+                              po[i] = f(pa[i], s);
+                            }
+                          });
     return out;
   }
   if (a.numel() == 1) {
@@ -119,8 +135,12 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b,
     Tensor out(b.shape());
     const float* pb = b.data();
     float* po = out.data();
-    const std::int64_t n = b.numel();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(s, pb[i]);
+    runtime::parallel_for(0, b.numel(), kElemwiseGrain,
+                          [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i) {
+                              po[i] = f(s, pb[i]);
+                            }
+                          });
     return out;
   }
 
@@ -145,20 +165,30 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b,
   const float* pb = b.data();
   float* po = out.data();
 
-  std::vector<std::int64_t> coord(rank, 0);
-  const std::int64_t n = out.numel();
-  for (std::int64_t flat = 0; flat < n; ++flat) {
-    std::int64_t ia = 0, ib = 0;
-    for (std::size_t d = 0; d < rank; ++d) {
-      ia += coord[d] * sa[d];
-      ib += coord[d] * sb[d];
-    }
-    po[flat] = f(pa[ia], pb[ib]);
-    for (std::size_t d = rank; d-- > 0;) {
-      if (++coord[d] < out_shape[d]) break;
-      coord[d] = 0;
-    }
-  }
+  runtime::parallel_for(
+      0, out.numel(), kElemwiseGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        // Derive this chunk's starting coordinate from its flat index, then
+        // walk incrementally exactly like the serial loop did.
+        std::vector<std::int64_t> coord(rank, 0);
+        std::int64_t rem = lo;
+        for (std::size_t d = rank; d-- > 0;) {
+          coord[d] = rem % out_shape[d];
+          rem /= out_shape[d];
+        }
+        for (std::int64_t flat = lo; flat < hi; ++flat) {
+          std::int64_t ia = 0, ib = 0;
+          for (std::size_t d = 0; d < rank; ++d) {
+            ia += coord[d] * sa[d];
+            ib += coord[d] * sb[d];
+          }
+          po[flat] = f(pa[ia], pb[ib]);
+          for (std::size_t d = rank; d-- > 0;) {
+            if (++coord[d] < out_shape[d]) break;
+            coord[d] = 0;
+          }
+        }
+      });
   return out;
 }
 
@@ -187,8 +217,12 @@ Tensor unary(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  runtime::parallel_for(0, a.numel(), kElemwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            po[i] = f(pa[i]);
+                          }
+                        });
   return out;
 }
 
@@ -236,10 +270,17 @@ void axpy_inplace(Tensor& y, float alpha, const Tensor& x) {
   check_same_shape(y, x, "axpy_inplace");
   float* py = y.data();
   const float* px = x.data();
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  runtime::parallel_for(0, y.numel(), kElemwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            py[i] += alpha * px[i];
+                          }
+                        });
 }
 
+// Full floating-point reductions (sum/mean/norms) and the scatter-style
+// reductions below stay serial: splitting them across workers would reorder
+// the accumulation and break the bitwise thread-count-invariance contract.
 float sum_all(const Tensor& a) {
   double s = 0.0;
   for (std::int64_t i = 0; i < a.numel(); ++i) s += a[i];
@@ -334,17 +375,23 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   float* po = out.data();
 
   // i-k-j loop order: streams through b and out rows; good cache behaviour
-  // for the row-major layout without an explicit blocking scheme.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    const float* a_row = pa + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  // for the row-major layout without an explicit blocking scheme. Output
+  // rows are disjoint, so the row range parallelizes with no reductions;
+  // the grain depends only on the shape, keeping results thread-invariant.
+  runtime::parallel_for(
+      0, m, runtime::grain_for_cost(k * n),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          float* out_row = po + i * n;
+          const float* a_row = pa + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = a_row[kk];
+            if (av == 0.0f) continue;
+            const float* b_row = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -355,11 +402,14 @@ Tensor transpose2d(const Tensor& a) {
   }
   const std::int64_t r = a.size(0), c = a.size(1);
   Tensor out({c, r});
-  for (std::int64_t i = 0; i < r; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      out.at2(j, i) = a.at2(i, j);
-    }
-  }
+  runtime::parallel_for(0, r, runtime::grain_for_cost(c),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            for (std::int64_t j = 0; j < c; ++j) {
+                              out.at2(j, i) = a.at2(i, j);
+                            }
+                          }
+                        });
   return out;
 }
 
@@ -369,14 +419,17 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
   }
   const std::int64_t rows = a.size(0), cols = a.size(1);
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
-  for (std::int64_t i = 0; i < rows; ++i) {
-    const float* row = a.data() + i * cols;
-    std::int64_t best = 0;
-    for (std::int64_t j = 1; j < cols; ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    out[static_cast<std::size_t>(i)] = best;
-  }
+  runtime::parallel_for(0, rows, runtime::grain_for_cost(cols),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            const float* row = a.data() + i * cols;
+                            std::int64_t best = 0;
+                            for (std::int64_t j = 1; j < cols; ++j) {
+                              if (row[j] > row[best]) best = j;
+                            }
+                            out[static_cast<std::size_t>(i)] = best;
+                          }
+                        });
   return out;
 }
 
@@ -386,18 +439,26 @@ Tensor log_softmax_rows(const Tensor& a) {
   }
   const std::int64_t rows = a.size(0), cols = a.size(1);
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < rows; ++i) {
-    const float* row = a.data() + i * cols;
-    float* orow = out.data() + i * cols;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < cols; ++j) denom += std::exp(row[j] - mx);
-    const float log_denom = static_cast<float>(std::log(denom));
-    for (std::int64_t j = 0; j < cols; ++j) {
-      orow[j] = row[j] - mx - log_denom;
-    }
-  }
+  // Row-local reductions only; rows are independent, so parallelizing over
+  // rows never reorders a floating-point sum.
+  runtime::parallel_for(
+      0, rows, runtime::grain_for_cost(cols),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* row = a.data() + i * cols;
+          float* orow = out.data() + i * cols;
+          float mx = row[0];
+          for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+          double denom = 0.0;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            denom += std::exp(row[j] - mx);
+          }
+          const float log_denom = static_cast<float>(std::log(denom));
+          for (std::int64_t j = 0; j < cols; ++j) {
+            orow[j] = row[j] - mx - log_denom;
+          }
+        }
+      });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
 #include "tensor/conv.h"
 
 namespace bd {
@@ -29,33 +30,37 @@ MaxPoolResult maxpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
   const float* pin = input.data();
   float* pout = result.output.data();
 
-  std::int64_t oi = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const std::int64_t base = (i * c + ch) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = -1;
-          for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              if (ix < 0 || ix >= w) continue;
-              const std::int64_t idx = base + iy * w + ix;
-              if (pin[idx] > best) {
-                best = pin[idx];
-                best_idx = idx;
+  // (sample, channel) planes are independent — parallelize over them.
+  runtime::parallel_for(
+      0, n * c,
+      runtime::grain_for_cost(oh * ow * spec.kernel * spec.kernel),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const std::int64_t base = p * h * w;
+          std::int64_t oi = p * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = -1;
+              for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+                const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+                  const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  const std::int64_t idx = base + iy * w + ix;
+                  if (pin[idx] > best) {
+                    best = pin[idx];
+                    best_idx = idx;
+                  }
+                }
               }
+              pout[oi] = (best_idx >= 0) ? best : 0.0f;
+              result.argmax[static_cast<std::size_t>(oi)] = best_idx;
             }
           }
-          pout[oi] = (best_idx >= 0) ? best : 0.0f;
-          result.argmax[static_cast<std::size_t>(oi)] = best_idx;
         }
-      }
-    }
-  }
+      });
   return result;
 }
 
@@ -65,10 +70,22 @@ Tensor maxpool2d_backward(const Shape& input_shape,
   Tensor grad_input(input_shape);
   float* gi = grad_input.data();
   const float* go = grad_output.data();
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    const std::int64_t idx = argmax[static_cast<std::size_t>(i)];
-    if (idx >= 0) gi[idx] += go[i];
-  }
+  // Argmax indices always point inside the plane that produced them, so
+  // scattering per (sample, channel) plane never crosses chunk boundaries
+  // even when pooling windows overlap.
+  const std::int64_t plane = grad_output.size(2) * grad_output.size(3);
+  const std::int64_t planes = grad_output.numel() / plane;
+  runtime::parallel_for(0, planes, runtime::grain_for_cost(plane),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t p = lo; p < hi; ++p) {
+                            for (std::int64_t i = p * plane;
+                                 i < (p + 1) * plane; ++i) {
+                              const std::int64_t idx =
+                                  argmax[static_cast<std::size_t>(i)];
+                              if (idx >= 0) gi[idx] += go[i];
+                            }
+                          }
+                        });
   return grad_input;
 }
 
@@ -85,27 +102,30 @@ Tensor avgpool2d_forward(const Tensor& input, const Pool2dSpec& spec) {
   const float* pin = input.data();
   float* pout = out.data();
 
-  std::int64_t oi = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const std::int64_t base = (i * c + ch) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          double acc = 0.0;
-          for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              if (ix < 0 || ix >= w) continue;
-              acc += pin[base + iy * w + ix];
+  runtime::parallel_for(
+      0, n * c,
+      runtime::grain_for_cost(oh * ow * spec.kernel * spec.kernel),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const std::int64_t base = p * h * w;
+          std::int64_t oi = p * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+              double acc = 0.0;
+              for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+                const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+                  const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += pin[base + iy * w + ix];
+                }
+              }
+              pout[oi] = static_cast<float>(acc) * inv_area;
             }
           }
-          pout[oi] = static_cast<float>(acc) * inv_area;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -121,26 +141,31 @@ Tensor avgpool2d_backward(const Shape& input_shape, const Tensor& grad_output,
   float* gi = grad_input.data();
   const float* go = grad_output.data();
 
-  std::int64_t oi = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const std::int64_t base = (i * c + ch) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          const float g = go[oi] * inv_area;
-          for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              if (ix < 0 || ix >= w) continue;
-              gi[base + iy * w + ix] += g;
+  // Scatter-accumulate stays inside each (sample, channel) plane, so
+  // plane-level chunks never collide even with overlapping windows.
+  runtime::parallel_for(
+      0, n * c,
+      runtime::grain_for_cost(oh * ow * spec.kernel * spec.kernel),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const std::int64_t base = p * h * w;
+          std::int64_t oi = p * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+              const float g = go[oi] * inv_area;
+              for (std::int64_t ky = 0; ky < spec.kernel; ++ky) {
+                const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < spec.kernel; ++kx) {
+                  const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  gi[base + iy * w + ix] += g;
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return grad_input;
 }
 
@@ -151,12 +176,18 @@ Tensor global_avgpool_forward(const Tensor& input) {
   Tensor out({n, c, 1, 1});
   const float* pin = input.data();
   float* pout = out.data();
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    double acc = 0.0;
-    const float* plane = pin + i * hw;
-    for (std::int64_t j = 0; j < hw; ++j) acc += plane[j];
-    pout[i] = static_cast<float>(acc / static_cast<double>(hw));
-  }
+  runtime::parallel_for(0, n * c, runtime::grain_for_cost(hw),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            double acc = 0.0;
+                            const float* plane = pin + i * hw;
+                            for (std::int64_t j = 0; j < hw; ++j) {
+                              acc += plane[j];
+                            }
+                            pout[i] =
+                                static_cast<float>(acc / static_cast<double>(hw));
+                          }
+                        });
   return out;
 }
 
@@ -168,11 +199,14 @@ Tensor global_avgpool_backward(const Shape& input_shape,
   const float inv = 1.0f / static_cast<float>(hw);
   float* gi = grad_input.data();
   const float* go = grad_output.data();
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    const float g = go[i] * inv;
-    float* plane = gi + i * hw;
-    for (std::int64_t j = 0; j < hw; ++j) plane[j] = g;
-  }
+  runtime::parallel_for(0, n * c, runtime::grain_for_cost(hw),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            const float g = go[i] * inv;
+                            float* plane = gi + i * hw;
+                            for (std::int64_t j = 0; j < hw; ++j) plane[j] = g;
+                          }
+                        });
   return grad_input;
 }
 

@@ -1,6 +1,8 @@
 #include "util/env.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace bd {
 
@@ -35,6 +37,17 @@ int trial_count(int quick_default, int full_default) {
     return static_cast<int>(*n);
   }
   return full_mode() ? full_default : quick_default;
+}
+
+int thread_count() {
+  static const int count = [] {
+    if (const auto n = env_int("BDPROTO_THREADS")) {
+      return std::max(1, static_cast<int>(*n));
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }();
+  return count;
 }
 
 std::uint64_t base_seed() {

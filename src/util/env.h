@@ -6,6 +6,10 @@
 //                                                bench suite runs on one core.
 //   BDPROTO_TRIALS=<n>        - overrides trials per setting.
 //   BDPROTO_SEED=<n>          - base seed for the whole experiment.
+//   BDPROTO_THREADS=<n>       - worker threads for the bd::runtime parallel
+//                               engine (default: hardware_concurrency;
+//                               1 forces the legacy serial path; clamped
+//                               to >= 1).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,11 @@ int trial_count(int quick_default, int full_default);
 
 /// Base seed for experiments: BDPROTO_SEED if set, otherwise 1234.
 std::uint64_t base_seed();
+
+/// Engine thread count: BDPROTO_THREADS if set (clamped to >= 1), otherwise
+/// hardware_concurrency (or 1 when that is unknown). Read once and cached;
+/// tests override via bd::runtime::set_thread_count() instead of the env.
+int thread_count();
 
 /// Picks a scale-dependent value: quick-mode value vs full-mode value.
 template <typename T>

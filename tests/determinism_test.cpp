@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "eval/trainer.h"
 #include "models/factory.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace bd {
@@ -111,6 +112,36 @@ TEST(Determinism, GradPruneDefense) {
   const auto s2 = defend(23);
   for (const auto& [name, tensor] : s1) {
     expect_identical(tensor, s2.at(name), name.c_str());
+  }
+}
+
+// The parallel runtime must not change a single bit of any result: a small
+// train-and-eval run on 1 thread and on 4 threads produces identical
+// weights and metrics. Uses the set_thread_count() hook (not env mutation)
+// so the test is hermetic.
+TEST(Determinism, ThreadCountInvariance) {
+  const auto data = make_data(21);
+  models::ModelSpec spec{"vgg", 10, 3, 8};
+
+  auto run = [&] {
+    Rng rng(31);
+    auto model = models::make_model(spec, rng);
+    eval::TrainConfig cfg;
+    cfg.epochs = 2;
+    eval::train_classifier(*model, data.train, cfg, rng);
+    const double acc = eval::accuracy(*model, data.test);
+    return std::make_pair(model->state_dict(), acc);
+  };
+
+  runtime::set_thread_count(1);
+  const auto [serial_state, serial_acc] = run();
+  runtime::set_thread_count(4);
+  const auto [parallel_state, parallel_acc] = run();
+  runtime::set_thread_count(0);
+
+  EXPECT_DOUBLE_EQ(serial_acc, parallel_acc);
+  for (const auto& [name, tensor] : serial_state) {
+    expect_identical(tensor, parallel_state.at(name), name.c_str());
   }
 }
 

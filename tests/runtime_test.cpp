@@ -1,0 +1,181 @@
+// bd::runtime thread-pool contract: pool lifecycle, exact index coverage,
+// grain edge cases, exception propagation to the call site, serial nesting,
+// the set_thread_count() hook, and bitwise thread-count-invariance of the
+// kernels built on parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace bd {
+namespace {
+
+// Restores the default pool size when a test returns (or fails).
+class ThreadCountOverride {
+ public:
+  explicit ThreadCountOverride(int n) { runtime::set_thread_count(n); }
+  ~ThreadCountOverride() { runtime::set_thread_count(0); }
+};
+
+TEST(Runtime, PoolConstructionAndTeardown) {
+  // Pools of several sizes construct, run a job, and join cleanly.
+  for (int threads : {1, 2, 4}) {
+    std::vector<int> hits(128, 0);
+    {
+      runtime::ThreadPool pool(threads);
+      EXPECT_EQ(pool.thread_count(), threads);
+      auto body = [](void* ctx, std::int64_t lo, std::int64_t hi) {
+        auto& v = *static_cast<std::vector<int>*>(ctx);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          ++v[static_cast<std::size_t>(i)];
+        }
+      };
+      pool.parallel_for(0, 128, 8, body, &hits);
+    }  // destructor joins workers
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Runtime, ThreadCountClampedToOne) {
+  runtime::ThreadPool pool(-3);
+  EXPECT_EQ(pool.thread_count(), 1);
+}
+
+TEST(Runtime, CoversEveryIndexExactlyOnce) {
+  ThreadCountOverride threads(4);
+  // Deliberately non-round range and grain.
+  const std::int64_t n = 10007;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  runtime::parallel_for(0, n, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      ++hits[static_cast<std::size_t>(i)];  // disjoint chunks: no race
+    }
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(Runtime, NonZeroBeginCoversRange) {
+  ThreadCountOverride threads(4);
+  std::vector<int> hits(100, 0);
+  runtime::parallel_for(37, 91, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], (i >= 37 && i < 91) ? 1 : 0);
+  }
+}
+
+TEST(Runtime, GrainEdgeCases) {
+  ThreadCountOverride threads(4);
+  // Empty and inverted ranges: the body must never run.
+  std::atomic<int> calls{0};
+  auto count = [&](std::int64_t, std::int64_t) { ++calls; };
+  runtime::parallel_for(0, 0, 8, count);
+  runtime::parallel_for(5, 5, 8, count);
+  runtime::parallel_for(9, 3, 8, count);
+  EXPECT_EQ(calls.load(), 0);
+
+  // Range smaller than one grain: a single serial call with the full range.
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  runtime::parallel_for(0, 5, 100, [&](std::int64_t lo, std::int64_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{0, 5}));
+
+  // Grain <= 0 is clamped to 1 and still covers everything.
+  std::vector<int> hits(16, 0);
+  runtime::parallel_for(0, 16, 0, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Runtime, WorkerExceptionRethrownAtCallSite) {
+  ThreadCountOverride threads(4);
+  EXPECT_THROW(
+      runtime::parallel_for(0, 1000, 10,
+                            [&](std::int64_t lo, std::int64_t) {
+                              if (lo == 500) {
+                                throw std::runtime_error("chunk failure");
+                              }
+                            }),
+      std::runtime_error);
+
+  // The pool stays usable after a failed job.
+  std::atomic<std::int64_t> visited{0};
+  runtime::parallel_for(0, 1000, 10, [&](std::int64_t lo, std::int64_t hi) {
+    visited.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(visited.load(), 1000);
+}
+
+TEST(Runtime, NestedParallelForRunsSerial) {
+  ThreadCountOverride threads(4);
+  EXPECT_FALSE(runtime::in_parallel_region());
+  std::atomic<int> nested_violations{0};
+  runtime::parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    if (!runtime::in_parallel_region()) ++nested_violations;
+    const auto outer_thread = std::this_thread::get_id();
+    // The nested call must execute entirely on the calling thread.
+    runtime::parallel_for(0, 64, 1, [&](std::int64_t, std::int64_t) {
+      if (std::this_thread::get_id() != outer_thread) ++nested_violations;
+      if (!runtime::in_parallel_region()) ++nested_violations;
+    });
+  });
+  EXPECT_EQ(nested_violations.load(), 0);
+  EXPECT_FALSE(runtime::in_parallel_region());
+}
+
+TEST(Runtime, SetThreadCountHook) {
+  runtime::set_thread_count(3);
+  EXPECT_EQ(runtime::thread_count(), 3);
+  runtime::set_thread_count(0);  // reset to environment default
+  EXPECT_GE(runtime::thread_count(), 1);
+}
+
+TEST(Runtime, KernelsBitwiseInvariantAcrossThreadCounts) {
+  Rng rng(42);
+  Tensor a({96, 64});
+  Tensor b({64, 80});
+  Tensor x({4, 6, 10, 10});
+  Tensor w({5, 6, 3, 3});
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] = rng.normal();
+  for (std::int64_t i = 0; i < b.numel(); ++i) b[i] = rng.normal();
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal();
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal();
+
+  runtime::set_thread_count(1);
+  const Tensor mm1 = matmul(a, b);
+  const Tensor cv1 = conv2d_forward(x, w, Tensor(), {1, 1});
+  runtime::set_thread_count(4);
+  const Tensor mm4 = matmul(a, b);
+  const Tensor cv4 = conv2d_forward(x, w, Tensor(), {1, 1});
+  runtime::set_thread_count(0);
+
+  ASSERT_EQ(mm1.shape(), mm4.shape());
+  for (std::int64_t i = 0; i < mm1.numel(); ++i) {
+    ASSERT_EQ(mm1[i], mm4[i]) << "matmul diverged at " << i;
+  }
+  ASSERT_EQ(cv1.shape(), cv4.shape());
+  for (std::int64_t i = 0; i < cv1.numel(); ++i) {
+    ASSERT_EQ(cv1[i], cv4[i]) << "conv diverged at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bd
