@@ -57,15 +57,45 @@ Args parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bdctl <train-backdoor|evaluate|defend> [flags]\n"
+               "usage: bdctl <train-backdoor|evaluate|defend|verify> [flags]\n"
                "  common   : --attack badnet|blended|lf|bpp|dynamic\n"
                "             --arch preactresnet|vgg|efficientnet|mobilenet\n"
                "             --dataset cifar|gtsrb  --seed N  --width N\n"
                "  train    : --out model.ckpt\n"
                "  evaluate : --model model.ckpt\n"
                "  defend   : --model model.ckpt --defense ft|fp|nad|clp|"
-               "ftsam|anp|gradprune --spc N --out repaired.ckpt\n");
+               "ftsam|anp|gradprune --spc N --out repaired.ckpt\n"
+               "  verify   : bdctl verify <checkpoint>  (checks magic/"
+               "version/CRC, prints the state dict,\n"
+               "             exits non-zero on corruption)\n");
   return 2;
+}
+
+/// `bdctl verify <checkpoint>`: full integrity check + state-dict summary.
+int cmd_verify(const std::string& path) {
+  try {
+    const nn::CheckpointInfo info = nn::inspect_checkpoint(path);
+    std::printf("%s: format v%u, %s, %zu entries, %lld elements\n",
+                path.c_str(), info.version,
+                info.crc_verified ? "CRC ok" : "no CRC (legacy v1)",
+                info.entries.size(),
+                static_cast<long long>(info.total_elements));
+    for (const auto& entry : info.entries) {
+      std::string shape = "[";
+      for (std::size_t d = 0; d < entry.shape.size(); ++d) {
+        if (d) shape += ", ";
+        shape += std::to_string(entry.shape[d]);
+      }
+      shape += "]";
+      std::printf("  %-40s %-20s %lld\n", entry.name.c_str(), shape.c_str(),
+                  static_cast<long long>(entry.numel));
+    }
+    std::printf("OK\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bdctl verify: CORRUPT: %s\n", e.what());
+    return 1;
+  }
 }
 
 /// Rebuilds the deterministic experiment context for the given flags.
@@ -148,6 +178,10 @@ int cmd_defend(const Args& args) {
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+      if (argc != 3) return usage();
+      return cmd_verify(argv[2]);
+    }
     const Args args = parse_args(argc, argv);
     if (args.command == "train-backdoor") return cmd_train(args);
     if (args.command == "evaluate") return cmd_evaluate(args);

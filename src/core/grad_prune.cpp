@@ -1,11 +1,13 @@
 #include "core/grad_prune.h"
 
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "autograd/ops.h"
 #include "eval/metrics.h"
 #include "eval/trainer.h"
+#include "robust/fault_injector.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -55,8 +57,26 @@ std::vector<FilterScore> score_filters(models::Classifier& model,
     }
   }
   model.zero_grad();
+  if (robust::FaultInjector::instance().fire_nan_grad()) {
+    // Injected gradient blow-up: the whole scoring pass is garbage, exactly
+    // as if the unlearning gradients had overflowed.
+    for (auto& s : scores) s.xi = std::numeric_limits<double>::quiet_NaN();
+  }
   return scores;
 }
+
+namespace {
+
+/// A scoring pass is usable only when every xi is finite; a single NaN/Inf
+/// would make the arg-max rank filters on garbage.
+bool scores_finite(const std::vector<FilterScore>& scores) {
+  for (const auto& s : scores) {
+    if (!std::isfinite(s.xi)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::optional<FilterScore> best_filter_to_prune(
     const std::vector<FilterScore>& scores) {
@@ -90,6 +110,20 @@ defense::DefenseResult GradPruneDefense::apply(
     for (std::int64_t round = 0; round < config_.max_prune_rounds; ++round) {
       const auto scores =
           score_filters(model, context.backdoor_train, config_.batch_size);
+      if (!scores_finite(scores)) {
+        // Non-finite unlearning gradients: skip the round instead of
+        // pruning on garbage. Counts toward patience so a persistently
+        // diverged model still terminates.
+        ++out.recoveries;
+        BD_LOG(Warn) << "gradprune round " << (round + 1)
+                     << ": non-finite filter scores, skipping round";
+        if (++rounds_without_improvement >= config_.prune_patience) {
+          BD_LOG(Warn) << "gradprune: patience exhausted on non-finite "
+                          "rounds, stopping";
+          break;
+        }
+        continue;
+      }
       const auto target = best_filter_to_prune(scores);
       if (!target) {
         BD_LOG(Warn) << "gradprune: no filters left to prune";
@@ -153,6 +187,7 @@ defense::DefenseResult GradPruneDefense::apply(
     const auto result = eval::finetune_early_stopping(
         model, ft_train, ft_val, ft, context.rng_ref());
     out.finetune_epochs = result.epochs_run;
+    out.recoveries += result.guard.recoveries;
     // The restored best-val state predates some post_step applications;
     // re-assert the masks on the final weights.
     for (auto* conv : convs) conv->enforce_filter_masks();

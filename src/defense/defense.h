@@ -42,6 +42,10 @@ struct DefenseResult {
   std::int64_t pruned_units = 0;     // filters/channels removed
   std::int64_t finetune_epochs = 0;  // epochs of post-processing
   double seconds = 0.0;              // wall-clock of apply()
+  /// Divergence recoveries during the defense: TrainGuard rollbacks in the
+  /// fine-tuning stages plus pruning rounds skipped for non-finite
+  /// gradients (see robust/train_guard.h).
+  std::int64_t recoveries = 0;
 };
 
 class Defense {

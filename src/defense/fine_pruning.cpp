@@ -112,11 +112,13 @@ DefenseResult FinePruningDefense::apply(models::Classifier& model,
   ft.lr = config_.finetune_lr;
   ft.momentum = 0.9f;
   ft.weight_decay = 0.0f;
-  eval::train_classifier(model, context.clean_train, ft, context.rng_ref());
+  const eval::TrainResult train =
+      eval::train_classifier(model, context.clean_train, ft, context.rng_ref());
   model.set_training(false);
   if (conv != nullptr) conv->enforce_filter_masks();
 
   out.finetune_epochs = config_.finetune_max_epochs;
+  out.recoveries = train.guard.recoveries;
   out.seconds = watch.seconds();
   return out;
 }

@@ -13,12 +13,14 @@ DefenseResult FinetuneDefense::apply(models::Classifier& model,
   cfg.batch_size = config_.batch_size;
   cfg.lr = config_.lr;
   cfg.momentum = config_.momentum;
-  eval::train_classifier(model, context.clean_train, cfg, context.rng_ref());
+  const eval::TrainResult train = eval::train_classifier(
+      model, context.clean_train, cfg, context.rng_ref());
   model.set_training(false);
 
   DefenseResult out;
   out.defense_name = name();
   out.finetune_epochs = config_.max_epochs;
+  out.recoveries = train.guard.recoveries;
   out.seconds = watch.seconds();
   return out;
 }

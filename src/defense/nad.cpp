@@ -29,7 +29,9 @@ DefenseResult NadDefense::apply(models::Classifier& model,
   teacher_cfg.epochs = config_.teacher_epochs;
   teacher_cfg.batch_size = config_.batch_size;
   teacher_cfg.lr = config_.lr;
-  eval::train_classifier(*teacher, context.clean_train, teacher_cfg, rng);
+  const eval::TrainResult teacher_train =
+      eval::train_classifier(*teacher, context.clean_train, teacher_cfg, rng);
+  out.recoveries = teacher_train.guard.recoveries;
   teacher->set_training(false);
 
   // 2. Distillation: CE + beta * sum_l ||A_l(S) - A_l(T)||^2.

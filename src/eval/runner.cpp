@@ -80,7 +80,8 @@ BackdooredModel prepare_backdoored_model(const std::string& dataset,
                      std::move(split.test),
                      data::ImageDataset(image_shape, num_classes),
                      data::ImageDataset(image_shape, num_classes),
-                     BackdoorMetrics{}};
+                     BackdoorMetrics{},
+                     robust::GuardReport{}};
 
   bd.spec.arch = arch;
   bd.spec.num_classes = bd.clean_train_pool.num_classes();
@@ -99,7 +100,13 @@ BackdooredModel prepare_backdoored_model(const std::string& dataset,
   auto model = models::make_model(bd.spec, rng);
   BD_LOG(Info) << "training backdoored " << arch << " (" << attack << ", "
                << dataset << ", " << model->parameter_count() << " params)";
-  train_classifier(*model, poisoned, scale.attack_train, rng);
+  const TrainResult train = train_classifier(*model, poisoned,
+                                             scale.attack_train, rng);
+  bd.train_guard = train.guard;
+  if (train.guard.recoveries > 0 || train.guard.gave_up) {
+    BD_LOG(Warn) << "attack training recovered from divergence: "
+                 << train.guard.summary();
+  }
 
   bd.state = model->state_dict();
   bd.baseline =
@@ -207,11 +214,16 @@ SettingResult run_setting(const BackdooredModel& bd,
     out.ra.push_back(trial.metrics.ra);
     out.seconds.push_back(trial.info.seconds);
     out.pruned.push_back(trial.info.pruned_units);
+    out.recoveries.push_back(trial.info.recoveries);
     BD_LOG(Info) << bd.attack << " spc=" << spc << " " << defense_name
                  << " trial " << (t + 1) << "/" << scale.trials
                  << ": ACC=" << trial.metrics.acc
                  << " ASR=" << trial.metrics.asr
-                 << " RA=" << trial.metrics.ra;
+                 << " RA=" << trial.metrics.ra
+                 << (trial.info.recoveries > 0
+                         ? " (recoveries=" +
+                               std::to_string(trial.info.recoveries) + ")"
+                         : "");
   }
   return out;
 }

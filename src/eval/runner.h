@@ -53,6 +53,8 @@ struct BackdooredModel {
   data::ImageDataset asr_test;
   data::ImageDataset ra_test;
   BackdoorMetrics baseline;  // metrics with no defense applied
+  /// TrainGuard recovery history of the attack training run.
+  robust::GuardReport train_guard;
 
   /// Fresh model instance loaded with the backdoored weights.
   std::unique_ptr<models::Classifier> instantiate(Rng& rng) const;
@@ -91,6 +93,7 @@ struct SettingResult {
   std::vector<double> acc, asr, ra;  // one entry per trial
   std::vector<double> seconds;       // defense wall-clock per trial
   std::vector<std::int64_t> pruned;  // units pruned per trial
+  std::vector<std::int64_t> recoveries;  // divergence recoveries per trial
 };
 
 /// Runs `scale.trials` trials of one defense at one SPC setting.

@@ -1,19 +1,177 @@
 #include "eval/table_bench.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/registry.h"
+#include "robust/fault_injector.h"
+#include "robust/journal.h"
 #include "util/env.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace bd::eval {
 
+namespace {
+
+std::string join_doubles(const std::vector<double>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ',';
+    out += robust::exact_double(v[i]);
+  }
+  return out;
+}
+
+std::vector<double> split_doubles(const std::string& s) {
+  std::vector<double> out;
+  const char* p = s.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;  // no progress: malformed tail
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<std::int64_t>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> split_ints(const std::string& s) {
+  std::vector<std::int64_t> out;
+  const char* p = s.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(p, &end, 10);
+    if (end == p) break;  // no progress: malformed tail
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+std::string field(const robust::JournalFields& fields, const char* name) {
+  const auto it = fields.find(name);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+/// Canonical description of everything that shapes a cell's numbers: the
+/// journal key must change whenever any of this does, so a resumed run
+/// never reuses results computed under different settings.
+std::string scale_signature(const TableSpec& spec,
+                            const ExperimentScale& s) {
+  std::string sig = spec.dataset + '|' + spec.arch + '|' +
+                    std::to_string(base_seed());
+  const auto add_i = [&sig](std::int64_t v) {
+    sig += '|';
+    sig += std::to_string(v);
+  };
+  const auto add_d = [&sig](double v) {
+    sig += '|';
+    sig += robust::exact_double(v);
+  };
+  add_i(s.data.height);
+  add_i(s.data.width);
+  add_i(s.data.train_per_class);
+  add_i(s.data.test_per_class);
+  add_i(s.attack_train.epochs);
+  add_i(s.attack_train.batch_size);
+  add_d(s.attack_train.lr);
+  add_d(s.attack_train.momentum);
+  add_d(s.attack_train.weight_decay);
+  add_d(s.attack_train.lr_decay);
+  add_i(s.base_width);
+  add_i(s.trials);
+  add_i(s.defense_max_epochs);
+  add_i(s.prune_max_rounds);
+  add_i(s.anp_iterations);
+  add_i(s.nad_teacher_epochs);
+  add_i(s.nad_distill_epochs);
+  for (const auto spc : s.spc_settings) add_i(spc);
+  return sig;
+}
+
+robust::JournalFields encode_baseline(const std::string& attack,
+                                      const BackdoorMetrics& m) {
+  return {{"cell", "baseline"},
+          {"attack", attack},
+          {"acc", robust::exact_double(m.acc)},
+          {"asr", robust::exact_double(m.asr)},
+          {"ra", robust::exact_double(m.ra)}};
+}
+
+BackdoorMetrics decode_baseline(const robust::JournalFields& f) {
+  BackdoorMetrics m;
+  m.acc = std::strtod(field(f, "acc").c_str(), nullptr);
+  m.asr = std::strtod(field(f, "asr").c_str(), nullptr);
+  m.ra = std::strtod(field(f, "ra").c_str(), nullptr);
+  return m;
+}
+
+robust::JournalFields encode_setting(const SettingResult& s) {
+  return {{"cell", "setting"},
+          {"attack", s.attack},
+          {"defense", s.defense},
+          {"spc", std::to_string(s.spc)},
+          {"acc", join_doubles(s.acc)},
+          {"asr", join_doubles(s.asr)},
+          {"ra", join_doubles(s.ra)},
+          {"seconds", join_doubles(s.seconds)},
+          {"pruned", join_ints(s.pruned)},
+          {"recoveries", join_ints(s.recoveries)}};
+}
+
+SettingResult decode_setting(const robust::JournalFields& f) {
+  SettingResult s;
+  s.attack = field(f, "attack");
+  s.defense = field(f, "defense");
+  s.spc = std::strtoll(field(f, "spc").c_str(), nullptr, 10);
+  s.acc = split_doubles(field(f, "acc"));
+  s.asr = split_doubles(field(f, "asr"));
+  s.ra = split_doubles(field(f, "ra"));
+  s.seconds = split_doubles(field(f, "seconds"));
+  s.pruned = split_ints(field(f, "pruned"));
+  s.recoveries = split_ints(field(f, "recoveries"));
+  return s;
+}
+
+}  // namespace
+
 TableRun run_table(const TableSpec& spec) {
   Stopwatch watch;
-  const ExperimentScale scale = default_scale(spec.dataset);
+  const ExperimentScale scale =
+      spec.scale ? *spec.scale : default_scale(spec.dataset);
   const std::uint64_t seed = base_seed();
+
+  std::string journal_path = spec.journal_path;
+  if (journal_path.empty()) {
+    journal_path = env_string("BDPROTO_JOURNAL").value_or("");
+  }
+  const bool resume =
+      spec.resume.value_or(env_int("BDPROTO_RESUME").value_or(0) != 0);
+  robust::RunJournal journal = journal_path.empty()
+                                   ? robust::RunJournal()
+                                   : robust::RunJournal(journal_path);
+  if (resume && !journal.enabled()) {
+    BD_LOG(Warn) << "BDPROTO_RESUME is set but no journal is configured "
+                    "(set BDPROTO_JOURNAL); running from scratch";
+  }
+  if (resume && journal.size() > 0) {
+    BD_LOG(Info) << "resuming from journal '" << journal.path() << "' ("
+                 << journal.size() << " completed cells)";
+  }
+  const std::string sig = scale_signature(spec, scale);
+  auto& faults = robust::FaultInjector::instance();
 
   std::printf("== %s ==\n", spec.title.c_str());
   std::printf("dataset=%s arch=%s mode=%s trials=%d spc={", spec.dataset.c_str(),
@@ -29,27 +187,81 @@ TableRun run_table(const TableSpec& spec) {
 
   for (const auto& attack : spec.attacks) {
     Rng seeder(seed ^ std::hash<std::string>{}(attack + spec.arch));
-    const BackdooredModel bd = prepare_backdoored_model(
-        spec.dataset, spec.arch, attack, scale, seeder.next_u64());
-    run.baselines.emplace_back(attack, bd.baseline);
+    const std::uint64_t model_seed = seeder.next_u64();
 
-    char acc_buf[32], asr_buf[32], ra_buf[32];
-    std::snprintf(acc_buf, sizeof(acc_buf), "%.2f", bd.baseline.acc);
-    std::snprintf(asr_buf, sizeof(asr_buf), "%.2f", bd.baseline.asr);
-    std::snprintf(ra_buf, sizeof(ra_buf), "%.2f", bd.baseline.ra);
-    table.add_row({attack, "-", "Baseline", acc_buf, asr_buf, ra_buf});
-
+    // Draw every cell's seed up front in the same order an uninterrupted
+    // run would, so skipping completed cells never shifts the seeds of the
+    // remaining ones.
+    struct Cell {
+      std::int64_t spc;
+      const std::string* defense;
+      std::uint64_t seed;
+      std::string key;
+    };
+    std::vector<Cell> cells;
     for (const auto spc : scale.spc_settings) {
       for (const auto& defense : spec.defenses) {
-        const SettingResult setting =
-            run_setting(bd, defense, spc, scale, seeder.next_u64());
-        table.add_row({attack, std::to_string(spc),
-                       core::defense_display_name(defense),
-                       mean_std_string(setting.acc),
-                       mean_std_string(setting.asr),
-                       mean_std_string(setting.ra)});
-        run.settings.push_back(setting);
+        cells.push_back({spc, &defense, seeder.next_u64(),
+                         robust::stable_hash_hex("cell|" + sig + '|' + attack +
+                                                 '|' + defense + '|' +
+                                                 std::to_string(spc))});
       }
+    }
+    const std::string base_key =
+        robust::stable_hash_hex("baseline|" + sig + '|' + attack);
+
+    bool all_cached = resume && journal.has(base_key);
+    for (const auto& cell : cells) {
+      all_cached = all_cached && journal.has(cell.key);
+    }
+
+    // The expensive attack run is needed only when some cell still has to
+    // execute; a fully journaled attack resumes without retraining.
+    std::optional<BackdooredModel> bd;
+    BackdoorMetrics baseline;
+    if (all_cached) {
+      baseline = decode_baseline(*journal.find(base_key));
+      BD_LOG(Info) << attack << ": all cells journaled, skipping attack "
+                      "training";
+    } else {
+      bd.emplace(prepare_backdoored_model(spec.dataset, spec.arch, attack,
+                                          scale, model_seed));
+      baseline = bd->baseline;
+      if (journal.enabled() && !(resume && journal.has(base_key))) {
+        journal.record(base_key, encode_baseline(attack, baseline));
+      }
+    }
+    run.baselines.emplace_back(attack, baseline);
+
+    char acc_buf[32], asr_buf[32], ra_buf[32];
+    std::snprintf(acc_buf, sizeof(acc_buf), "%.2f", baseline.acc);
+    std::snprintf(asr_buf, sizeof(asr_buf), "%.2f", baseline.asr);
+    std::snprintf(ra_buf, sizeof(ra_buf), "%.2f", baseline.ra);
+    table.add_row({attack, "-", "Baseline", acc_buf, asr_buf, ra_buf});
+
+    for (const auto& cell : cells) {
+      SettingResult setting;
+      const robust::JournalFields* cached =
+          resume ? journal.find(cell.key) : nullptr;
+      if (cached != nullptr) {
+        setting = decode_setting(*cached);
+        ++run.resumed_cells;
+      } else {
+        setting = run_setting(*bd, *cell.defense, cell.spc, scale, cell.seed);
+        if (journal.enabled()) {
+          journal.record(cell.key, encode_setting(setting));
+        }
+        // The journal entry above is flushed; a kill here loses nothing.
+        faults.fire_crash("bench cell " + setting.attack + "/" +
+                          setting.defense + "/spc=" +
+                          std::to_string(setting.spc));
+      }
+      table.add_row({attack, std::to_string(cell.spc),
+                     core::defense_display_name(*cell.defense),
+                     mean_std_string(setting.acc),
+                     mean_std_string(setting.asr),
+                     mean_std_string(setting.ra)});
+      run.settings.push_back(std::move(setting));
     }
   }
 

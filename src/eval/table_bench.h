@@ -4,8 +4,18 @@
 // each figure is the per-trial (ASR, ACC) / (ASR, RA) scatter of the same
 // runs. run_table() executes the sweep and prints rows in the paper's
 // format (mean ± std over trials) plus optional scatter series.
+//
+// Crash resumability: with BDPROTO_JOURNAL=<path> every completed cell
+// (baseline or attack x SPC x defense setting) is appended to a JSONL
+// journal keyed by a stable config hash, flushed before the next cell
+// starts. With BDPROTO_RESUME=1 a restarted run loads the journal, skips
+// every completed cell (re-deriving its table rows from the journaled
+// full-precision metrics), and produces tables byte-identical to an
+// uninterrupted run. A backdoored model is only retrained when at least
+// one of its cells is missing.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,11 +31,19 @@ struct TableSpec {
   std::vector<std::string> defenses;
   /// Also print per-trial scatter points (figure reproduction).
   bool scatter = false;
+  /// Journal file for crash resumability; empty defers to BDPROTO_JOURNAL
+  /// (journaling disabled when neither is set).
+  std::string journal_path;
+  /// Skip journal-completed cells; unset defers to BDPROTO_RESUME.
+  std::optional<bool> resume;
+  /// Scale override for tests; unset uses default_scale(dataset).
+  std::optional<ExperimentScale> scale;
 };
 
 struct TableRun {
   std::vector<SettingResult> settings;  // per (attack, spc, defense)
   std::vector<std::pair<std::string, BackdoorMetrics>> baselines;
+  std::size_t resumed_cells = 0;  // cells restored from the journal
 };
 
 /// Runs the sweep and prints the table (and scatter series) to stdout.

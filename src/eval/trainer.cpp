@@ -1,23 +1,51 @@
 #include "eval/trainer.h"
 
+#include <limits>
 #include <stdexcept>
 
 #include "autograd/ops.h"
 #include "eval/metrics.h"
 #include "optim/optim.h"
+#include "robust/fault_injector.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
 // Batch work (forward/backward kernels, metric evaluation) executes on the
 // bd::runtime parallel engine; the loops below stay sequential because SGD
 // steps and RNG draws are order-dependent. Results are bitwise identical
-// for every BDPROTO_THREADS setting (see runtime/thread_pool.h).
+// for every BDPROTO_THREADS setting (see runtime/thread_pool.h) — the
+// TrainGuard decisions depend only on those thread-invariant loss values,
+// so recovery preserves the invariance.
 
 namespace bd::eval {
 
-double train_classifier(models::Classifier& model,
-                        const data::ImageDataset& train,
-                        const TrainConfig& config, Rng& rng) {
+namespace {
+
+/// Per-batch divergence check shared by both loops. Computes the batch
+/// loss (applying any armed `nan@n` fault), and either runs backward and
+/// returns nullptr (healthy) or returns the reason the step must not be
+/// applied. `batch_loss` always receives the observed loss.
+const char* guarded_backward(robust::TrainGuard& guard, ag::Var& loss,
+                             optim::Optimizer& opt, double& batch_loss) {
+  batch_loss = static_cast<double>(loss.value()[0]);
+  if (robust::FaultInjector::instance().fire_nan_loss()) {
+    batch_loss = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (const char* reason = guard.check_loss(batch_loss)) return reason;
+  loss.backward();
+  if (guard.enabled()) {
+    if (const char* reason = guard.check_grad_norm(opt.grad_norm())) {
+      return reason;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TrainResult train_classifier(models::Classifier& model,
+                             const data::ImageDataset& train,
+                             const TrainConfig& config, Rng& rng) {
   if (train.empty()) {
     throw std::invalid_argument("train_classifier: empty training set");
   }
@@ -32,31 +60,65 @@ double train_classifier(models::Classifier& model,
   opts.weight_decay = config.weight_decay;
   optim::Sgd sgd(model.parameters(), opts);
 
-  double epoch_loss = 0.0;
-  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  robust::TrainGuard guard(config.guard);
+  std::map<std::string, Tensor> snapshot;
+  if (guard.enabled()) snapshot = model.state_dict();
+
+  TrainResult result;
+  std::int64_t epoch = 0;
+  bool stop = false;
+  while (epoch < config.epochs && !stop) {
     data::DataLoader loader(train, config.batch_size, rng);
     data::Batch batch;
     double total = 0.0;
     std::int64_t seen = 0;
+    std::int64_t step = 0;
+    bool rolled_back = false;
     while (loader.next(batch)) {
       data::augment_batch_inplace(batch, config.augment, rng);
       sgd.zero_grad();
       const ag::Var logits = model.forward(ag::Var(batch.images));
       ag::Var loss = ag::cross_entropy(logits, batch.labels);
-      loss.backward();
+      double batch_loss = 0.0;
+      if (const char* reason = guarded_backward(guard, loss, sgd, batch_loss)) {
+        model.load_state_dict(snapshot);
+        if (!guard.can_recover()) {
+          guard.record_exhausted();
+          BD_LOG(Warn) << "train guard: " << reason << " at epoch " << epoch
+                       << " step " << step
+                       << "; retry budget exhausted, stopping at last good "
+                          "snapshot";
+          stop = true;
+        } else {
+          sgd.options().lr *= static_cast<float>(guard.config().lr_backoff);
+          guard.record_recovery(epoch, step, batch_loss, sgd.options().lr,
+                                reason);
+          BD_LOG(Warn) << "train guard: " << reason << " at epoch " << epoch
+                       << " step " << step << "; rolled back, retrying with lr="
+                       << sgd.options().lr;
+          rolled_back = true;
+        }
+        break;
+      }
       sgd.step();
-      total += static_cast<double>(loss.value()[0]) *
-               static_cast<double>(batch.size());
+      total += batch_loss * static_cast<double>(batch.size());
       seen += batch.size();
+      ++step;
     }
-    epoch_loss = total / static_cast<double>(seen);
+    if (stop) break;
+    if (rolled_back) continue;  // retry this epoch from the snapshot
+    result.final_loss = total / static_cast<double>(seen);
     if (config.verbose) {
       BD_LOG(Info) << "epoch " << (epoch + 1) << "/" << config.epochs
-                   << " loss=" << epoch_loss << " lr=" << sgd.options().lr;
+                   << " loss=" << result.final_loss
+                   << " lr=" << sgd.options().lr;
     }
     sgd.options().lr *= config.lr_decay;
+    if (guard.enabled()) snapshot = model.state_dict();
+    ++epoch;
   }
-  return epoch_loss;
+  result.guard = guard.report();
+  return result;
 }
 
 EarlyStopResult finetune_early_stopping(models::Classifier& model,
@@ -73,23 +135,53 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
   opts.weight_decay = config.weight_decay;
   optim::Sgd sgd(model.parameters(), opts);
 
+  robust::TrainGuard guard(config.guard);
   EarlyStopResult result;
   result.best_val_loss = dataset_loss(model, val);
   auto best_state = model.state_dict();
+  std::map<std::string, Tensor> snapshot;
+  if (guard.enabled()) snapshot = model.state_dict();
   std::int64_t epochs_without_improvement = 0;
 
-  for (std::int64_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+  std::int64_t epoch = 0;
+  bool stop = false;
+  while (epoch < config.max_epochs && !stop) {
     model.set_training(true);
     data::DataLoader loader(train, config.batch_size, rng);
     data::Batch batch;
+    std::int64_t step = 0;
+    bool rolled_back = false;
     while (loader.next(batch)) {
       sgd.zero_grad();
       const ag::Var logits = model.forward(ag::Var(batch.images));
       ag::Var loss = ag::cross_entropy(logits, batch.labels);
-      loss.backward();
+      double batch_loss = 0.0;
+      if (const char* reason = guarded_backward(guard, loss, sgd, batch_loss)) {
+        model.load_state_dict(snapshot);
+        if (!guard.can_recover()) {
+          guard.record_exhausted();
+          BD_LOG(Warn) << "finetune guard: " << reason << " at epoch " << epoch
+                       << " step " << step
+                       << "; retry budget exhausted, stopping at last good "
+                          "snapshot";
+          stop = true;
+        } else {
+          sgd.options().lr *= static_cast<float>(guard.config().lr_backoff);
+          guard.record_recovery(epoch, step, batch_loss, sgd.options().lr,
+                                reason);
+          BD_LOG(Warn) << "finetune guard: " << reason << " at epoch " << epoch
+                       << " step " << step << "; rolled back, retrying with lr="
+                       << sgd.options().lr;
+          rolled_back = true;
+        }
+        break;
+      }
       sgd.step();
       if (config.post_step) config.post_step();
+      ++step;
     }
+    if (stop) break;
+    if (rolled_back) continue;  // retry this epoch from the snapshot
     ++result.epochs_run;
 
     const double val_loss = dataset_loss(model, val);
@@ -105,9 +197,12 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
     } else if (++epochs_without_improvement >= config.patience) {
       break;
     }
+    if (guard.enabled()) snapshot = model.state_dict();
+    ++epoch;
   }
   model.load_state_dict(best_state);
   model.set_training(false);
+  result.guard = guard.report();
   return result;
 }
 

@@ -1,5 +1,11 @@
 // Training loops shared by the attack pipeline (training the backdoored
 // model) and the defenses (fine-tuning stages).
+//
+// Both loops run under a bd::robust::TrainGuard: a non-finite or exploding
+// batch loss (or non-finite gradient) rolls the model back to the last
+// good epoch snapshot, backs off the learning rate, and retries the epoch
+// within a bounded budget. Recovery history is returned in the result
+// structs; see robust/train_guard.h for the policy.
 #pragma once
 
 #include <functional>
@@ -7,6 +13,7 @@
 #include "data/augment.h"
 #include "data/dataset.h"
 #include "models/classifier.h"
+#include "robust/train_guard.h"
 #include "util/rng.h"
 
 namespace bd::eval {
@@ -22,13 +29,22 @@ struct TrainConfig {
   /// Optional train-time augmentation (disabled by default; the paper
   /// benches train without it).
   data::AugmentConfig augment;
+  /// Divergence detection / rollback policy (enabled by default).
+  robust::TrainGuardConfig guard;
   bool verbose = false;
 };
 
-/// Standard SGD training on `train`; returns final mean epoch loss.
-double train_classifier(models::Classifier& model,
-                        const data::ImageDataset& train,
-                        const TrainConfig& config, Rng& rng);
+struct TrainResult {
+  /// Mean loss of the last completed epoch.
+  double final_loss = 0.0;
+  /// Divergence recoveries performed during training.
+  robust::GuardReport guard;
+};
+
+/// Standard SGD training on `train`.
+TrainResult train_classifier(models::Classifier& model,
+                             const data::ImageDataset& train,
+                             const TrainConfig& config, Rng& rng);
 
 struct EarlyStopConfig {
   std::int64_t max_epochs = 50;
@@ -39,6 +55,8 @@ struct EarlyStopConfig {
   float lr = 0.01f;
   float momentum = 0.9f;
   float weight_decay = 0.0f;
+  /// Divergence detection / rollback policy (enabled by default).
+  robust::TrainGuardConfig guard;
   bool verbose = false;
   /// Invoked after every optimizer step (e.g. to re-apply prune masks).
   std::function<void()> post_step;
@@ -47,6 +65,8 @@ struct EarlyStopConfig {
 struct EarlyStopResult {
   std::int64_t epochs_run = 0;
   double best_val_loss = 0.0;
+  /// Divergence recoveries performed during fine-tuning.
+  robust::GuardReport guard;
 };
 
 /// Fine-tunes with SGD until validation loss stops improving for

@@ -1,15 +1,30 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "robust/crc32.h"
+#include "robust/fault_injector.h"
 #include "tensor/serialize.h"
 
 namespace bd::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x42444350;  // "BDCP"
+
+// v1: magic + count + entries (no version, no CRC). Still readable.
+constexpr std::uint32_t kMagicV1 = 0x42444350;  // "BDCP"
+// v2: magic + version + count + entries + CRC-32, written atomically.
+constexpr std::uint32_t kMagicV2 = 0x32434442;  // "BDC2" on disk
+constexpr std::uint32_t kFormatVersion = 2;
+// Sanity bound on the on-disk entry count: no model here has more than a
+// few hundred tensors, so anything near this is header corruption — and
+// must not drive a multi-million-iteration read loop.
+constexpr std::uint32_t kMaxEntries = 1u << 20;
 
 void write_string(std::ostream& out, const std::string& s) {
   const auto len = static_cast<std::uint32_t>(s.size());
@@ -21,59 +36,202 @@ std::string read_string(std::istream& in) {
   std::uint32_t len = 0;
   in.read(reinterpret_cast<char*>(&len), sizeof(len));
   if (!in || len > (1u << 20)) {
-    throw std::runtime_error("checkpoint: bad string length");
+    throw std::runtime_error("bad string length");
   }
   std::string s(len, '\0');
   in.read(s.data(), static_cast<std::streamsize>(len));
-  if (!in) throw std::runtime_error("checkpoint: truncated string");
+  if (!in) throw std::runtime_error("truncated string");
   return s;
 }
-}  // namespace
 
-void save_checkpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("save_checkpoint: cannot open '" + path + "'");
-  }
-  const auto state = module.state_dict();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  const auto count = static_cast<std::uint32_t>(state.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, tensor] : state) {
-    write_string(out, name);
-    write_tensor(out, tensor);
-  }
-  if (!out) {
-    throw std::runtime_error("save_checkpoint: write failure on '" + path +
-                             "'");
-  }
+std::uint32_t read_u32(const std::string& buf, std::size_t offset) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, buf.data() + offset, sizeof(v));
+  return v;
 }
 
-std::map<std::string, Tensor> load_state(const std::string& path) {
+[[noreturn]] void fail(const std::string& path, const std::string& detail) {
+  throw std::runtime_error("load_state: '" + path + "': " + detail);
+}
+
+struct ParsedCheckpoint {
+  std::uint32_t version = 0;
+  bool crc_verified = false;
+  std::map<std::string, Tensor> state;
+  std::vector<CheckpointEntryInfo> entries;
+};
+
+/// Parses and fully validates the checkpoint at `path`. Every error names
+/// the path, the entry index (and name, once known), and the byte offset
+/// at which the read failed.
+ParsedCheckpoint parse_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("load_state: cannot open '" + path + "'");
   }
-  std::uint32_t magic = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_state: '" + path +
-                             "' is not a checkpoint file");
-  }
-  std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw std::runtime_error("load_state: truncated header");
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
 
-  std::map<std::string, Tensor> state;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::string name = read_string(in);
-    state[std::move(name)] = read_tensor(in);
+  if (buf.size() < 2 * sizeof(std::uint32_t)) {
+    fail(path, "only " + std::to_string(buf.size()) +
+                   " bytes; not a checkpoint file");
   }
-  return state;
+
+  ParsedCheckpoint parsed;
+  const std::uint32_t magic = read_u32(buf, 0);
+  std::size_t entries_begin = 0;
+  std::size_t entries_end = 0;
+  std::uint32_t count = 0;
+
+  if (magic == kMagicV1) {
+    parsed.version = 1;
+    count = read_u32(buf, 4);
+    entries_begin = 8;
+    entries_end = buf.size();
+  } else if (magic == kMagicV2) {
+    // Layout: magic | version | count | entries | crc. Verify the CRC over
+    // everything between the magic and the CRC before trusting any of it.
+    if (buf.size() < 4 * sizeof(std::uint32_t)) {
+      fail(path, "v2 header truncated at " + std::to_string(buf.size()) +
+                     " bytes");
+    }
+    const std::size_t crc_offset = buf.size() - sizeof(std::uint32_t);
+    const std::uint32_t stored_crc = read_u32(buf, crc_offset);
+    const std::uint32_t actual_crc =
+        robust::crc32(buf.data() + sizeof(std::uint32_t),
+                      crc_offset - sizeof(std::uint32_t));
+    if (stored_crc != actual_crc) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "CRC mismatch (stored 0x%08x, computed 0x%08x over %zu "
+                    "bytes)",
+                    stored_crc, actual_crc, crc_offset - sizeof(std::uint32_t));
+      fail(path, detail);
+    }
+    parsed.crc_verified = true;
+    parsed.version = read_u32(buf, 4);
+    if (parsed.version != kFormatVersion) {
+      fail(path, "unsupported format version " +
+                     std::to_string(parsed.version));
+    }
+    count = read_u32(buf, 8);
+    entries_begin = 12;
+    entries_end = crc_offset;
+  } else {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "bad magic 0x%08x", magic);
+    fail(path, detail);
+  }
+
+  if (count > kMaxEntries) {
+    fail(path, "implausible entry count " + std::to_string(count) +
+                   " (limit " + std::to_string(kMaxEntries) +
+                   "); header is corrupt");
+  }
+
+  std::istringstream stream(buf);
+  stream.seekg(static_cast<std::streamoff>(entries_begin));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto entry_offset = static_cast<std::size_t>(stream.tellg());
+    const std::string entry_tag =
+        "entry " + std::to_string(i) + "/" + std::to_string(count);
+    std::string name;
+    try {
+      name = read_string(stream);
+    } catch (const std::exception& e) {
+      fail(path, entry_tag + " at offset " + std::to_string(entry_offset) +
+                     ": " + e.what());
+    }
+    const auto tensor_offset = static_cast<std::size_t>(stream.tellg());
+    try {
+      parsed.state[name] = read_tensor(stream);
+    } catch (const std::exception& e) {
+      fail(path, entry_tag + " ('" + name + "') at offset " +
+                     std::to_string(tensor_offset) + ": " + e.what());
+    }
+    const Tensor& t = parsed.state[name];
+    parsed.entries.push_back({name, t.shape(), t.numel()});
+  }
+
+  const auto end_offset = static_cast<std::size_t>(stream.tellg());
+  if (end_offset != entries_end) {
+    fail(path, std::to_string(entries_end - end_offset) +
+                   " trailing bytes after entry " + std::to_string(count) +
+                   " (offset " + std::to_string(end_offset) + ")");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  auto& faults = robust::FaultInjector::instance();
+  faults.fire_io("save_checkpoint open '" + path + "'");
+
+  // Serialize the full payload in memory first so the CRC covers exactly
+  // the bytes that land on disk.
+  std::ostringstream payload(std::ios::binary);
+  const auto state = module.state_dict();
+  const std::uint32_t version = kFormatVersion;
+  payload.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const auto count = static_cast<std::uint32_t>(state.size());
+  payload.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, tensor] : state) {
+    write_string(payload, name);
+    write_tensor(payload, tensor);
+  }
+  const std::string body = payload.str();
+  const std::uint32_t crc = robust::crc32(body.data(), body.size());
+
+  // Durable write: <path>.tmp + flush + atomic rename, so `path` either
+  // keeps its previous content or holds the complete new checkpoint.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_checkpoint: cannot open '" + tmp + "'");
+    }
+    out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("save_checkpoint: write failure on '" + tmp +
+                               "'");
+    }
+    out.close();
+    faults.fire_io("save_checkpoint commit '" + path + "'");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_checkpoint: cannot rename '" + tmp +
+                             "' to '" + path + "': " + ec.message());
+  }
+}
+
+std::map<std::string, Tensor> load_state(const std::string& path) {
+  return parse_checkpoint(path).state;
 }
 
 void load_checkpoint(Module& module, const std::string& path) {
   module.load_state_dict(load_state(path));
+}
+
+CheckpointInfo inspect_checkpoint(const std::string& path) {
+  ParsedCheckpoint parsed = parse_checkpoint(path);
+  CheckpointInfo info;
+  info.version = parsed.version;
+  info.crc_verified = parsed.crc_verified;
+  info.entries = std::move(parsed.entries);
+  for (const auto& e : info.entries) info.total_elements += e.numel;
+  return info;
 }
 
 }  // namespace bd::nn

@@ -2,25 +2,56 @@
 // buffers) to a binary file. Used to hand backdoored or repaired models
 // between processes (e.g. train once, evaluate many defenses later).
 //
-// Format: magic, entry count, then per entry a length-prefixed name and a
-// serialized tensor (see tensor/serialize.h).
+// Format v2 (current):
+//   magic "BDC2" | u32 version=2 | u32 entry count
+//   | per entry: length-prefixed name + serialized tensor
+//   | u32 CRC-32 of everything between the magic and the CRC
+// Writes are durable: the payload goes to "<path>.tmp" and is atomically
+// renamed over `path`, so a crash mid-save never leaves a torn file at
+// the target. Legacy v1 files (magic "BDCP", no version, no CRC) still
+// load. Every load error reports the path, the entry index/name being
+// read, and the byte offset of the failure.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace bd::nn {
 
-/// Writes `module.state_dict()` to `path`; throws std::runtime_error on
-/// I/O failure.
+/// Writes `module.state_dict()` to `path` (v2, atomic, CRC-protected);
+/// throws std::runtime_error on I/O failure without disturbing any
+/// existing file at `path`.
 void save_checkpoint(const Module& module, const std::string& path);
 
-/// Reads a state dict from `path`.
+/// Reads a state dict from `path` (v2 with CRC verification, or legacy
+/// v1). Throws std::runtime_error with path/entry/offset context on any
+/// corruption.
 std::map<std::string, Tensor> load_state(const std::string& path);
 
 /// Reads `path` and loads it into `module` (shapes must match).
 void load_checkpoint(Module& module, const std::string& path);
+
+/// Per-entry metadata surfaced by inspect_checkpoint().
+struct CheckpointEntryInfo {
+  std::string name;
+  Shape shape;
+  std::int64_t numel = 0;
+};
+
+struct CheckpointInfo {
+  std::uint32_t version = 0;  // 1 (legacy, no CRC) or 2
+  bool crc_verified = false;  // true when a v2 CRC was checked and matched
+  std::vector<CheckpointEntryInfo> entries;
+  std::int64_t total_elements = 0;
+};
+
+/// Fully validates `path` (magic, version, CRC for v2, every entry) and
+/// returns its summary; throws std::runtime_error on any corruption.
+/// Backs `bdctl verify`.
+CheckpointInfo inspect_checkpoint(const std::string& path);
 
 }  // namespace bd::nn

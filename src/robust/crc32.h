@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to detect
+// checkpoint and journal corruption. Incremental: feed chunks by passing
+// the previous return value as `seed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bd::robust {
+
+/// CRC-32 of `len` bytes at `data`. Chain calls via `seed` (default 0
+/// starts a fresh checksum; the final value is already post-inverted).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace bd::robust

@@ -1,0 +1,77 @@
+// Deterministic fault injection for exercising recovery paths.
+//
+// Faults are armed from a spec string (env BDPROTO_FAULTS or programmatic
+// configure()) of comma-separated `kind@n` terms, where `n` is the 1-based
+// occurrence at which the fault fires:
+//
+//   io_fail@3     third checkpoint I/O operation throws std::runtime_error
+//   nan@120       training batch loss #120 is replaced with NaN
+//   nan_grad@2    gradient-scoring pass #2 (Grad-Prune) produces NaN scores
+//   crash@5       a SimulatedCrash is thrown after the 5th completed bench
+//                 cell (simulates a kill between cells; the run journal is
+//                 already durable at that point)
+//
+// Each site calls the matching fire_*() helper; the injector counts calls
+// per kind and fires at the armed indices. All counters are process-global
+// and mutex-guarded; tests reset them via configure()/reset().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace bd::robust {
+
+/// Thrown by an armed `crash@n` fault. Mirrors a mid-run kill without
+/// tearing down the process, so tests can catch it and re-enter with
+/// resume enabled. Real kills are equivalent because every durable write
+/// is flushed before the crash check runs.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class FaultKind { kIoFail = 0, kNanLoss, kNanGrad, kCrash };
+
+class FaultInjector {
+ public:
+  /// Process-wide instance; first use arms faults from BDPROTO_FAULTS.
+  static FaultInjector& instance();
+
+  /// Re-arms from a spec string ("io_fail@3,nan@120"), resetting all
+  /// counters. Throws std::invalid_argument on malformed specs.
+  void configure(const std::string& spec);
+
+  /// Disarms everything and resets counters.
+  void reset();
+
+  /// True if any occurrence of `kind` is still pending.
+  bool armed(FaultKind kind) const;
+
+  /// Counts one occurrence of `kind`; true when that occurrence is armed.
+  bool fire(FaultKind kind);
+
+  /// fire(kIoFail), throwing std::runtime_error mentioning `what` if armed.
+  void fire_io(const std::string& what);
+
+  /// fire(kNanLoss): true when the current batch loss must become NaN.
+  bool fire_nan_loss() { return fire(FaultKind::kNanLoss); }
+
+  /// fire(kNanGrad): true when the current scoring pass must go non-finite.
+  bool fire_nan_grad() { return fire(FaultKind::kNanGrad); }
+
+  /// fire(kCrash), throwing SimulatedCrash mentioning `where` if armed.
+  void fire_crash(const std::string& where);
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mutex_;
+  std::set<std::int64_t> triggers_[4];  // armed occurrence indices per kind
+  std::int64_t counts_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace bd::robust

@@ -1,0 +1,194 @@
+#include "robust/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace bd::robust {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+/// Minimal parser for the journal's own subset of JSON. Returns false on
+/// any deviation (including a torn line) instead of throwing, so the
+/// caller decides whether the damage is tolerable.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  bool parse(std::string& key, JournalFields& fields) {
+    return expect('{') && parse_member_name("key") && parse_string(key) &&
+           expect(',') && parse_member_name("fields") && expect('{') &&
+           parse_fields(fields) && expect('}') && expect('}') &&
+           pos_ == s_.size();
+  }
+
+ private:
+  bool expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_member_name(const std::string& name) {
+    std::string got;
+    return parse_string(got) && got == name && expect(':');
+  }
+
+  bool parse_string(std::string& out) {
+    out.clear();
+    if (!expect('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: return false;
+      }
+    }
+    return false;  // unterminated string (torn line)
+  }
+
+  bool parse_fields(JournalFields& fields) {
+    if (pos_ < s_.size() && s_[pos_] == '}') return true;  // empty object
+    while (true) {
+      std::string name, value;
+      if (!parse_string(name) || !expect(':') || !parse_string(value)) {
+        return false;
+      }
+      fields[name] = value;
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return true;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // journal does not exist yet: start empty
+
+  std::size_t line_no = 0;
+  bool reterminate = false;  // final line is intact but lost its newline
+  std::string line;
+  while (true) {
+    const std::streamoff start = in.tellg();
+    if (!std::getline(in, line)) break;
+    ++line_no;
+    const bool has_newline = !in.eof();
+    if (line.empty()) continue;
+
+    std::string key;
+    JournalFields fields;
+    if (LineParser(line).parse(key, fields)) {
+      entries_[key] = std::move(fields);
+      reterminate = !has_newline;
+      continue;
+    }
+    // Damaged line. A torn FINAL line is the expected shape after a kill
+    // mid-append: drop it by truncating the file back to the last intact
+    // entry. Damage anywhere else is corruption worth failing loudly.
+    if (in.peek() == std::ifstream::traits_type::eof()) {
+      BD_LOG(Warn) << "journal '" << path_ << "': dropping torn final line "
+                   << line_no << " (" << line.size() << " bytes)";
+      in.close();
+      std::filesystem::resize_file(path_, static_cast<std::uintmax_t>(start));
+      return;
+    }
+    throw std::runtime_error("journal '" + path_ + "': malformed line " +
+                             std::to_string(line_no));
+  }
+
+  if (reterminate) {
+    in.close();
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << '\n';
+  }
+}
+
+const JournalFields* RunJournal::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void RunJournal::record(const std::string& key, const JournalFields& fields) {
+  if (!enabled()) return;
+
+  std::string line = "{\"key\":\"";
+  append_escaped(line, key);
+  line += "\",\"fields\":{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    append_escaped(line, name);
+    line += "\":\"";
+    append_escaped(line, value);
+    line += '"';
+  }
+  line += "}}\n";
+
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("journal: cannot open '" + path_ +
+                             "' for append");
+  }
+  out << line << std::flush;
+  if (!out) {
+    throw std::runtime_error("journal: write failure on '" + path_ + "'");
+  }
+  entries_[key] = fields;
+}
+
+std::string stable_hash_hex(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace bd::robust

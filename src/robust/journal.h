@@ -1,0 +1,60 @@
+// Append-only JSONL run journal for crash-resumable experiment sweeps.
+//
+// Each completed experiment cell is one line:
+//
+//   {"key":"<config hash>","fields":{"acc":"...","asr":"...", ...}}
+//
+// appended and flushed as soon as the cell finishes, so a kill between
+// cells loses at most the in-flight cell. On reopen the journal tolerates
+// a torn final line (a write interrupted by the kill): the damaged tail is
+// dropped and the next append starts on a fresh line. Field values are
+// opaque strings; callers serialize doubles with "%.17g" so that resumed
+// tables are byte-identical to uninterrupted runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bd::robust {
+
+using JournalFields = std::map<std::string, std::string>;
+
+class RunJournal {
+ public:
+  /// Disabled journal: has() is always false, record() is a no-op.
+  RunJournal() = default;
+
+  /// Opens (creating if absent) the journal at `path` and loads every
+  /// intact entry. A torn final line is dropped with a warning; a
+  /// malformed line elsewhere throws with its line number.
+  explicit RunJournal(std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  bool has(const std::string& key) const { return entries_.count(key) > 0; }
+
+  /// Entry for `key`, or nullptr when absent.
+  const JournalFields* find(const std::string& key) const;
+
+  /// Appends {key, fields} and flushes to disk before returning. Repeated
+  /// keys keep the latest fields in memory. No-op when disabled.
+  void record(const std::string& key, const JournalFields& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, JournalFields> entries_;
+};
+
+/// FNV-1a 64-bit hash of `s`, as 16 lowercase hex digits. Stable across
+/// runs and platforms (unlike std::hash), so journal keys written by one
+/// process match the keys computed by the resuming one.
+std::string stable_hash_hex(const std::string& s);
+
+/// Doubles serialized for the journal: shortest form that round-trips
+/// bit-exactly through strtod ("%.17g").
+std::string exact_double(double v);
+
+}  // namespace bd::robust

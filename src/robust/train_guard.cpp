@@ -1,0 +1,49 @@
+#include "robust/train_guard.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace bd::robust {
+
+std::string GuardReport::summary() const {
+  if (events.empty() && !gave_up) return "";
+  std::ostringstream out;
+  out << recoveries << (recoveries == 1 ? " recovery" : " recoveries");
+  if (!events.empty()) {
+    out << " (";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i) out << ", ";
+      out << events[i].reason << "@e" << events[i].epoch << "s"
+          << events[i].step;
+    }
+    out << ")";
+  }
+  if (gave_up) out << ", retry budget exhausted";
+  return out.str();
+}
+
+const char* TrainGuard::check_loss(double loss) {
+  if (!config_.enabled) return nullptr;
+  if (!std::isfinite(loss)) return "non-finite loss";
+  if (best_loss_ >= 0.0 &&
+      loss > config_.explode_factor * (1.0 + best_loss_)) {
+    return "loss explosion";
+  }
+  if (best_loss_ < 0.0 || loss < best_loss_) best_loss_ = loss;
+  return nullptr;
+}
+
+const char* TrainGuard::check_grad_norm(double norm) const {
+  if (!config_.enabled) return nullptr;
+  if (!std::isfinite(norm)) return "non-finite gradient";
+  return nullptr;
+}
+
+void TrainGuard::record_recovery(std::int64_t epoch, std::int64_t step,
+                                 double bad_value, double lr_after,
+                                 const std::string& reason) {
+  ++report_.recoveries;
+  report_.events.push_back({epoch, step, bad_value, lr_after, reason});
+}
+
+}  // namespace bd::robust

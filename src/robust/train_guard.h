@@ -1,0 +1,90 @@
+// Divergence monitor for training loops.
+//
+// Watches per-batch losses (and caller-supplied gradient norms) for NaN /
+// Inf / explosion. When a bad value appears the owning loop rolls back to
+// its last good parameter snapshot, multiplies the learning rate by
+// `lr_backoff`, and retries — a bounded number of times. The guard itself
+// is parameter-agnostic (snapshots stay with the caller, keeping this
+// layer free of nn dependencies); it owns the detection policy, the retry
+// budget, and the recovery log that surfaces in result structs.
+//
+// All decisions are pure functions of the observed loss sequence, so a
+// guarded run is bitwise identical across BDPROTO_THREADS settings
+// (kernel reductions are thread-count invariant; see runtime/thread_pool.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bd::robust {
+
+struct TrainGuardConfig {
+  bool enabled = true;
+  /// A finite loss counts as an explosion when it exceeds
+  /// explode_factor * (1 + lowest finite loss seen so far).
+  double explode_factor = 1e3;
+  /// Learning-rate multiplier applied on each rollback.
+  double lr_backoff = 0.5;
+  /// Rollbacks allowed before the guard gives up (training then stops at
+  /// the last good snapshot instead of looping forever).
+  std::int64_t max_recoveries = 3;
+};
+
+struct GuardEvent {
+  std::int64_t epoch = 0;
+  std::int64_t step = 0;    // batch index within the epoch
+  double bad_value = 0.0;   // the offending loss (NaN/Inf/huge)
+  double lr_after = 0.0;    // learning rate after backoff
+  std::string reason;       // "non-finite loss" | "loss explosion" | ...
+};
+
+/// Recovery history embedded in training result structs.
+struct GuardReport {
+  std::int64_t recoveries = 0;
+  /// True when max_recoveries was exhausted and training stopped early at
+  /// the last good snapshot.
+  bool gave_up = false;
+  std::vector<GuardEvent> events;
+
+  /// "2 recoveries (non-finite loss@e1s3, loss explosion@e2s0)" or "".
+  std::string summary() const;
+};
+
+class TrainGuard {
+ public:
+  explicit TrainGuard(TrainGuardConfig config) : config_(config) {}
+
+  const TrainGuardConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  /// Classifies a batch loss. Returns nullptr when the value is healthy,
+  /// otherwise a static reason string. Healthy values update the
+  /// explosion reference; call once per optimizer step.
+  const char* check_loss(double loss);
+
+  /// Classifies a post-backward gradient norm the same way.
+  const char* check_grad_norm(double norm) const;
+
+  /// True while the retry budget allows another rollback.
+  bool can_recover() const {
+    return report_.recoveries < config_.max_recoveries;
+  }
+
+  /// Records a rollback (the caller restored its snapshot and backed off
+  /// its learning rate to `lr_after`).
+  void record_recovery(std::int64_t epoch, std::int64_t step, double bad_value,
+                       double lr_after, const std::string& reason);
+
+  /// Records that the budget ran out and training stopped early.
+  void record_exhausted() { report_.gave_up = true; }
+
+  const GuardReport& report() const { return report_; }
+
+ private:
+  TrainGuardConfig config_;
+  GuardReport report_;
+  double best_loss_ = -1.0;  // lowest finite loss seen (< 0: none yet)
+};
+
+}  // namespace bd::robust

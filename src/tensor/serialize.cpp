@@ -1,6 +1,7 @@
 #include "tensor/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -28,21 +29,41 @@ void write_tensor(std::ostream& out, const Tensor& t) {
 Tensor read_tensor(std::istream& in) {
   std::uint32_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("read_tensor: bad magic");
+  if (!in) throw std::runtime_error("read_tensor: truncated tensor header");
+  if (magic != kMagic) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), "read_tensor: bad magic 0x%08x", magic);
+    throw std::runtime_error(msg);
   }
   std::uint32_t rank = 0;
   in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-  if (!in || rank > 8) throw std::runtime_error("read_tensor: bad rank");
+  if (!in || rank > 8) {
+    throw std::runtime_error("read_tensor: bad rank " + std::to_string(rank));
+  }
+  // Bound the element count so corrupted dims cannot drive a huge
+  // allocation before the payload read fails.
+  constexpr std::int64_t kMaxElements = std::int64_t{1} << 31;
   Shape shape(rank);
-  for (auto& d : shape) {
+  std::int64_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    auto& d = shape[i];
     in.read(reinterpret_cast<char*>(&d), sizeof(d));
-    if (!in || d < 0) throw std::runtime_error("read_tensor: bad dim");
+    if (!in || d < 0 || (d > 0 && numel > kMaxElements / d)) {
+      throw std::runtime_error("read_tensor: bad dim " + std::to_string(i) +
+                               (in ? " (value " + std::to_string(d) + ")"
+                                   : " (truncated)"));
+    }
+    numel *= d;
   }
   Tensor t(shape);
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!in) throw std::runtime_error("read_tensor: truncated payload");
+  if (!in) {
+    throw std::runtime_error("read_tensor: truncated payload (" +
+                             std::to_string(in.gcount()) + " of " +
+                             std::to_string(t.numel() * sizeof(float)) +
+                             " bytes)");
+  }
   return t;
 }
 

@@ -92,8 +92,10 @@ TEST(Trainer, LearnsTinyTask) {
   TrainConfig cfg;
   cfg.epochs = 3;
   cfg.lr = 0.05f;
-  const double final_loss = train_classifier(*model, data.train, cfg, rng);
-  EXPECT_LT(final_loss, 1.5);
+  const TrainResult result = train_classifier(*model, data.train, cfg, rng);
+  EXPECT_LT(result.final_loss, 1.5);
+  EXPECT_EQ(result.guard.recoveries, 0);
+  EXPECT_FALSE(result.guard.gave_up);
   EXPECT_GT(accuracy(*model, data.test), 0.5);
 }
 

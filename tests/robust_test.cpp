@@ -1,0 +1,666 @@
+// Fault-tolerance tests: CRC32, fault injection, checkpoint v2 durability
+// (atomic writes, CRC rejection, truncation at every boundary, legacy v1),
+// the crash-resume run journal (torn final line, byte-identical resumed
+// tables), and TrainGuard divergence recovery in the training loops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "attack/trigger.h"
+#include "core/grad_prune.h"
+#include "data/synth.h"
+#include "defense/defense.h"
+#include "eval/table_bench.h"
+#include "eval/trainer.h"
+#include "models/factory.h"
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+#include "robust/crc32.h"
+#include "robust/fault_injector.h"
+#include "robust/journal.h"
+#include "robust/train_guard.h"
+#include "tensor/serialize.h"
+
+namespace bd {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/bd_robust_test_" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Every test using the process-global injector must leave it disarmed.
+class FaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { robust::FaultInjector::instance().reset(); }
+  void TearDown() override { robust::FaultInjector::instance().reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(robust::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(robust::crc32("", 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = robust::crc32(data.data(), data.size());
+  const std::uint32_t part = robust::crc32(data.data(), 10);
+  EXPECT_EQ(robust::crc32(data.data() + 10, data.size() - 10, part), whole);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+using FaultInjectorTest = FaultFixture;
+
+TEST_F(FaultInjectorTest, FiresAtArmedOccurrences) {
+  auto& faults = robust::FaultInjector::instance();
+  faults.configure("nan@2,nan@4,crash@1");
+  EXPECT_FALSE(faults.fire_nan_loss());  // occurrence 1
+  EXPECT_TRUE(faults.fire_nan_loss());   // occurrence 2 (armed)
+  EXPECT_FALSE(faults.fire_nan_loss());  // occurrence 3
+  EXPECT_TRUE(faults.fire_nan_loss());   // occurrence 4 (armed)
+  EXPECT_FALSE(faults.armed(robust::FaultKind::kNanLoss));
+  EXPECT_THROW(faults.fire_crash("here"), robust::SimulatedCrash);
+  EXPECT_NO_THROW(faults.fire_io("save"));  // io_fail never armed
+}
+
+TEST_F(FaultInjectorTest, ResetDisarms) {
+  auto& faults = robust::FaultInjector::instance();
+  faults.configure("nan@1");
+  faults.reset();
+  EXPECT_FALSE(faults.fire_nan_loss());
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecs) {
+  auto& faults = robust::FaultInjector::instance();
+  EXPECT_THROW(faults.configure("bogus@1"), std::invalid_argument);
+  EXPECT_THROW(faults.configure("nan"), std::invalid_argument);
+  EXPECT_THROW(faults.configure("nan@0"), std::invalid_argument);
+  EXPECT_THROW(faults.configure("nan@x"), std::invalid_argument);
+  EXPECT_NO_THROW(faults.configure("io_fail@3,nan@120"));
+}
+
+// ---------------------------------------------------------------------------
+// TrainGuard policy
+// ---------------------------------------------------------------------------
+
+TEST(TrainGuard, DetectsNanInfAndExplosion) {
+  robust::TrainGuardConfig cfg;
+  cfg.explode_factor = 10.0;
+  robust::TrainGuard guard(cfg);
+  EXPECT_EQ(guard.check_loss(2.0), nullptr);
+  EXPECT_STREQ(guard.check_loss(std::nan("")), "non-finite loss");
+  EXPECT_STREQ(guard.check_loss(INFINITY), "non-finite loss");
+  // 25 < 10 * (1 + 2): not yet an explosion.
+  EXPECT_EQ(guard.check_loss(25.0), nullptr);
+  EXPECT_STREQ(guard.check_loss(31.0), "loss explosion");
+  EXPECT_STREQ(guard.check_grad_norm(INFINITY), "non-finite gradient");
+  EXPECT_EQ(guard.check_grad_norm(1.5), nullptr);
+}
+
+TEST(TrainGuard, RetryBudgetAndReport) {
+  robust::TrainGuardConfig cfg;
+  cfg.max_recoveries = 2;
+  robust::TrainGuard guard(cfg);
+  EXPECT_TRUE(guard.can_recover());
+  guard.record_recovery(0, 3, std::nan(""), 0.025, "non-finite loss");
+  guard.record_recovery(1, 0, 1e9, 0.0125, "loss explosion");
+  EXPECT_FALSE(guard.can_recover());
+  guard.record_exhausted();
+  const auto& report = guard.report();
+  EXPECT_EQ(report.recoveries, 2);
+  EXPECT_TRUE(report.gave_up);
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_EQ(report.events[0].reason, "non-finite loss");
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("2 recoveries"), std::string::npos);
+  EXPECT_NE(summary.find("exhausted"), std::string::npos);
+}
+
+TEST(TrainGuard, DisabledNeverFlags) {
+  robust::TrainGuardConfig cfg;
+  cfg.enabled = false;
+  robust::TrainGuard guard(cfg);
+  EXPECT_EQ(guard.check_loss(std::nan("")), nullptr);
+  EXPECT_EQ(guard.check_grad_norm(INFINITY), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v2: durability and corruption rejection
+// ---------------------------------------------------------------------------
+
+using CheckpointRobust = FaultFixture;
+
+TEST_F(CheckpointRobust, V2RoundTripWithInfo) {
+  Rng rng(1);
+  nn::Conv2d a(3, 4, 3, 1, 1, /*bias=*/true, rng);
+  nn::Conv2d b(3, 4, 3, 1, 1, /*bias=*/true, rng);
+  TempFile file("v2_roundtrip");
+  nn::save_checkpoint(a, file.path());
+
+  const auto info = nn::inspect_checkpoint(file.path());
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_TRUE(info.crc_verified);
+  EXPECT_EQ(info.entries.size(), a.state_dict().size());
+  EXPECT_GT(info.total_elements, 0);
+
+  nn::load_checkpoint(b, file.path());
+  const auto sa = a.state_dict();
+  const auto sb = b.state_dict();
+  for (const auto& [name, tensor] : sa) {
+    const auto& other = sb.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], other[i]) << name;
+    }
+  }
+}
+
+TEST_F(CheckpointRobust, SaveLeavesNoTempFile) {
+  Rng rng(2);
+  nn::Conv2d conv(1, 2, 3, 1, 1, true, rng);
+  TempFile file("no_tmp");
+  nn::save_checkpoint(conv, file.path());
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+}
+
+TEST_F(CheckpointRobust, BitFlipIsCaughtByCrc) {
+  Rng rng(3);
+  nn::Conv2d conv(3, 4, 3, 1, 1, true, rng);
+  TempFile file("bitflip");
+  nn::save_checkpoint(conv, file.path());
+
+  std::string bytes = slurp(file.path());
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-payload
+  spit(file.path(), bytes);
+
+  try {
+    nn::load_state(file.path());
+    FAIL() << "bit-flipped checkpoint loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(file.path()), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointRobust, TruncatedAtEveryBoundaryThrows) {
+  Rng rng(4);
+  nn::Conv2d conv(2, 2, 3, 1, 1, true, rng);  // small: a few hundred bytes
+  TempFile file("truncate_all");
+  nn::save_checkpoint(conv, file.path());
+  const std::string bytes = slurp(file.path());
+  ASSERT_GT(bytes.size(), 16u);
+
+  TempFile cut("truncate_all_cut");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    spit(cut.path(), bytes.substr(0, len));
+    EXPECT_THROW(nn::load_state(cut.path()), std::runtime_error)
+        << "prefix of " << len << "/" << bytes.size() << " bytes loaded";
+  }
+  // The full file still loads.
+  spit(cut.path(), bytes);
+  EXPECT_NO_THROW(nn::load_state(cut.path()));
+}
+
+TEST_F(CheckpointRobust, InjectedOpenFailureLeavesTargetUntouched) {
+  Rng rng(5);
+  nn::Conv2d conv(1, 2, 3, 1, 1, true, rng);
+  TempFile file("io_open");
+  nn::save_checkpoint(conv, file.path());
+  const std::string before = slurp(file.path());
+
+  auto& faults = robust::FaultInjector::instance();
+  faults.configure("io_fail@1");  // first fire site: before writing the tmp
+  EXPECT_THROW(nn::save_checkpoint(conv, file.path()), std::runtime_error);
+  EXPECT_EQ(slurp(file.path()), before);
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+}
+
+TEST_F(CheckpointRobust, InjectedCommitFailureLeavesTargetUntouched) {
+  Rng rng(6);
+  nn::Conv2d old_weights(1, 2, 3, 1, 1, true, rng);
+  nn::Conv2d new_weights(1, 2, 3, 1, 1, true, rng);
+  TempFile file("io_commit");
+  nn::save_checkpoint(old_weights, file.path());
+  const std::string before = slurp(file.path());
+
+  auto& faults = robust::FaultInjector::instance();
+  faults.configure("io_fail@2");  // second fire site: after the tmp write
+  EXPECT_THROW(nn::save_checkpoint(new_weights, file.path()),
+               std::runtime_error);
+  // The fully-written tmp was discarded; the old checkpoint is intact.
+  EXPECT_EQ(slurp(file.path()), before);
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+  EXPECT_NO_THROW(nn::load_state(file.path()));
+}
+
+// ---------------------------------------------------------------------------
+// Legacy v1 checkpoints
+// ---------------------------------------------------------------------------
+
+void write_v1_string(std::ostream& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Writes a v1 (magic + count + entries, no CRC) checkpoint of `module`.
+void write_v1_checkpoint(const nn::Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const std::uint32_t magic = 0x42444350;  // v1 "BDCP"
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const auto state = module.state_dict();
+  const auto count = static_cast<std::uint32_t>(state.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, tensor] : state) {
+    write_v1_string(out, name);
+    write_tensor(out, tensor);
+  }
+}
+
+TEST_F(CheckpointRobust, LegacyV1StillLoads) {
+  Rng rng(7);
+  nn::Conv2d a(3, 4, 3, 1, 1, true, rng);
+  nn::Conv2d b(3, 4, 3, 1, 1, true, rng);
+  TempFile file("legacy_v1");
+  write_v1_checkpoint(a, file.path());
+
+  const auto info = nn::inspect_checkpoint(file.path());
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_FALSE(info.crc_verified);
+
+  nn::load_checkpoint(b, file.path());
+  const auto sa = a.state_dict();
+  const auto sb = b.state_dict();
+  for (const auto& [name, tensor] : sa) {
+    const auto& other = sb.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], other[i]) << name;
+    }
+  }
+}
+
+TEST_F(CheckpointRobust, EntryErrorNamesTheEntry) {
+  TempFile file("v1_bad_entry");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    const std::uint32_t magic = 0x42444350;
+    const std::uint32_t count = 1;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    write_v1_string(out, "conv.weight");
+    out << "garbage instead of a tensor";
+  }
+  try {
+    nn::load_state(file.path());
+    FAIL() << "corrupt entry loaded";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("conv.weight"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("entry 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(file.path()), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CheckpointRobust, ImplausibleEntryCountRejected) {
+  TempFile file("v1_bad_count");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    const std::uint32_t magic = 0x42444350;
+    const std::uint32_t count = 0xFFFFFFFFu;  // would loop ~4e9 times
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  try {
+    nn::load_state(file.path());
+    FAIL() << "implausible count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("entry count"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run journal
+// ---------------------------------------------------------------------------
+
+TEST(Journal, RoundTripWithEscaping) {
+  TempFile file("journal_roundtrip");
+  {
+    robust::RunJournal journal(file.path());
+    journal.record("k1", {{"acc", "97.5"}, {"note", "a\"b\\c\nd"}});
+    journal.record("k2", {{"asr", "1.25"}});
+  }
+  robust::RunJournal reopened(file.path());
+  EXPECT_EQ(reopened.size(), 2u);
+  ASSERT_TRUE(reopened.has("k1"));
+  EXPECT_EQ(reopened.find("k1")->at("note"), "a\"b\\c\nd");
+  EXPECT_EQ(reopened.find("k2")->at("asr"), "1.25");
+  EXPECT_EQ(reopened.find("missing"), nullptr);
+}
+
+TEST(Journal, TornFinalLineIsDroppedAndAppendable) {
+  TempFile file("journal_torn");
+  {
+    robust::RunJournal journal(file.path());
+    journal.record("k1", {{"acc", "97.5"}});
+    journal.record("k2", {{"acc", "96.0"}});
+  }
+  {
+    // Simulate a kill mid-append: a partial line with no newline.
+    std::ofstream out(file.path(), std::ios::app | std::ios::binary);
+    out << "{\"key\":\"k3\",\"fie";
+  }
+  robust::RunJournal reopened(file.path());
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_FALSE(reopened.has("k3"));
+  reopened.record("k3", {{"acc", "95.0"}});
+
+  robust::RunJournal again(file.path());
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_TRUE(again.has("k3"));
+}
+
+TEST(Journal, MalformedInteriorLineThrows) {
+  TempFile file("journal_corrupt");
+  {
+    robust::RunJournal journal(file.path());
+    journal.record("k1", {{"acc", "97.5"}});
+  }
+  const std::string intact = slurp(file.path());
+  spit(file.path(), "not json at all\n" + intact);
+  EXPECT_THROW(robust::RunJournal{file.path()}, std::runtime_error);
+}
+
+TEST(Journal, DisabledJournalIsNoop) {
+  robust::RunJournal journal;
+  EXPECT_FALSE(journal.enabled());
+  journal.record("k", {{"a", "b"}});  // must not touch the filesystem
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_FALSE(journal.has("k"));
+}
+
+TEST(Journal, ExactDoubleRoundTripsBitwise) {
+  for (const double v : {97.123456789012345, 1.0 / 3.0, 2.5e-17, 0.0}) {
+    const std::string s = robust::exact_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TrainGuard wired into the training loops
+// ---------------------------------------------------------------------------
+
+data::TrainTest tiny_task(Rng& rng, std::int64_t per_class = 30) {
+  data::SynthConfig cfg;
+  cfg.height = cfg.width = 10;
+  cfg.train_per_class = per_class;
+  cfg.test_per_class = 4;
+  return data::make_synth_cifar(cfg, rng);
+}
+
+std::unique_ptr<models::Classifier> tiny_model(Rng& rng) {
+  models::ModelSpec spec;
+  spec.arch = "vgg";
+  spec.num_classes = 10;
+  spec.base_width = 8;
+  return models::make_model(spec, rng);
+}
+
+using TrainRecovery = FaultFixture;
+
+TEST_F(TrainRecovery, InjectedNanRollsBackAndStillConverges) {
+  Rng rng(6);
+  const auto data = tiny_task(rng);
+  auto model = tiny_model(rng);
+  robust::FaultInjector::instance().configure("nan@5");
+
+  eval::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.lr = 0.05f;
+  const eval::TrainResult result =
+      eval::train_classifier(*model, data.train, cfg, rng);
+
+  EXPECT_EQ(result.guard.recoveries, 1);
+  EXPECT_FALSE(result.guard.gave_up);
+  ASSERT_EQ(result.guard.events.size(), 1u);
+  EXPECT_EQ(result.guard.events[0].reason, "non-finite loss");
+  // The learning rate was backed off once from the configured 0.05.
+  EXPECT_NEAR(result.guard.events[0].lr_after, 0.025, 1e-6);
+  // Despite the mid-run divergence the run completes and converges.
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+  EXPECT_LT(result.final_loss, 1.5);
+}
+
+TEST_F(TrainRecovery, ExhaustedBudgetStopsAtLastGoodSnapshot) {
+  Rng rng(7);
+  const auto data = tiny_task(rng, 8);
+  auto model = tiny_model(rng);
+  auto& faults = robust::FaultInjector::instance();
+  faults.configure("nan@1,nan@2,nan@3,nan@4");
+
+  eval::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.guard.max_recoveries = 3;
+  const eval::TrainResult result =
+      eval::train_classifier(*model, data.train, cfg, rng);
+
+  EXPECT_EQ(result.guard.recoveries, 3);
+  EXPECT_TRUE(result.guard.gave_up);
+  // The model was restored to its last good snapshot: all weights finite.
+  for (const auto& [name, tensor] : model->state_dict()) {
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(tensor[i])) << name;
+    }
+  }
+}
+
+TEST_F(TrainRecovery, FinetuneEarlyStoppingRecovers) {
+  Rng rng(8);
+  const auto data = tiny_task(rng, 12);
+  auto model = tiny_model(rng);
+  robust::FaultInjector::instance().configure("nan@3");
+
+  eval::EarlyStopConfig cfg;
+  cfg.max_epochs = 3;
+  cfg.patience = 2;
+  const eval::EarlyStopResult result = eval::finetune_early_stopping(
+      *model, data.train, data.test, cfg, rng);
+
+  EXPECT_EQ(result.guard.recoveries, 1);
+  EXPECT_GT(result.epochs_run, 0);
+  EXPECT_TRUE(std::isfinite(result.best_val_loss));
+}
+
+TEST_F(TrainRecovery, GradPruneSkipsNonFiniteRound) {
+  Rng rng(9);
+  data::SynthConfig dcfg;
+  dcfg.height = dcfg.width = 10;
+  dcfg.train_per_class = 6;
+  dcfg.test_per_class = 2;
+  const auto data = data::make_synth_cifar(dcfg, rng);
+  models::ModelSpec spec{"vgg", 10, 3, 8};
+  auto model = models::make_model(spec, rng);
+  attack::BadNetsTrigger trigger;
+  const auto ctx = defense::make_defense_context(data.train, trigger, spec, rng);
+
+  robust::FaultInjector::instance().configure("nan_grad@1");
+  core::GradPruneConfig cfg;
+  cfg.max_prune_rounds = 3;
+  cfg.finetune = false;
+  core::GradPruneDefense defense(cfg);
+  const auto result = defense.apply(*model, ctx);
+
+  // Round 1 was skipped on non-finite scores and counted as a recovery;
+  // later rounds proceeded on real gradients.
+  EXPECT_GE(result.recoveries, 1);
+  for (const auto& [name, tensor] : model->state_dict()) {
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(tensor[i])) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resumable bench runs
+// ---------------------------------------------------------------------------
+
+eval::ExperimentScale micro_scale() {
+  eval::ExperimentScale s;
+  s.data.height = s.data.width = 8;
+  s.data.train_per_class = 8;
+  s.data.test_per_class = 2;
+  s.attack_train.epochs = 1;
+  s.base_width = 8;
+  s.spc_settings = {2};
+  s.trials = 1;
+  s.defense_max_epochs = 2;
+  s.prune_max_rounds = 3;
+  s.anp_iterations = 2;
+  s.nad_teacher_epochs = 1;
+  s.nad_distill_epochs = 1;
+  return s;
+}
+
+/// Drops the wall-clock footer ("total: 12.3s"), the only
+/// run-dependent part of run_table's stdout.
+std::string strip_timing(const std::string& output) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < output.size()) {
+    std::size_t end = output.find('\n', pos);
+    if (end == std::string::npos) end = output.size();
+    const std::string line = output.substr(pos, end - pos);
+    if (line.rfind("total:", 0) != 0) {
+      out += line;
+      out += '\n';
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+using TableResume = FaultFixture;
+
+TEST_F(TableResume, CrashThenResumeIsByteIdentical) {
+  eval::TableSpec spec;
+  spec.title = "resume-test";
+  spec.dataset = "cifar";
+  spec.arch = "vgg";
+  spec.attacks = {"badnet"};
+  spec.defenses = {"ft", "clp"};
+  spec.scatter = true;
+  spec.scale = micro_scale();
+  spec.resume = false;
+
+  // Reference: uninterrupted run.
+  TempFile ref_journal("journal_ref");
+  spec.journal_path = ref_journal.path();
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun reference = eval::run_table(spec);
+  const std::string reference_out = strip_timing(
+      ::testing::internal::GetCapturedStdout());
+  EXPECT_EQ(reference.resumed_cells, 0u);
+  ASSERT_EQ(reference.settings.size(), 2u);
+
+  // Crashed run: killed between cell 1 and cell 2.
+  TempFile crash_journal("journal_crash");
+  spec.journal_path = crash_journal.path();
+  robust::FaultInjector::instance().configure("crash@1");
+  ::testing::internal::CaptureStdout();
+  bool crashed = false;
+  try {
+    eval::run_table(spec);
+  } catch (const robust::SimulatedCrash&) {
+    crashed = true;
+  }
+  ::testing::internal::GetCapturedStdout();
+  ASSERT_TRUE(crashed);
+  robust::FaultInjector::instance().reset();
+
+  // Resume: completed cells are skipped, output is byte-identical.
+  spec.resume = true;
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun resumed = eval::run_table(spec);
+  const std::string resumed_out = strip_timing(
+      ::testing::internal::GetCapturedStdout());
+
+  EXPECT_EQ(resumed.resumed_cells, 1u);
+  EXPECT_EQ(resumed_out, reference_out);
+  ASSERT_EQ(resumed.settings.size(), reference.settings.size());
+  for (std::size_t i = 0; i < reference.settings.size(); ++i) {
+    EXPECT_EQ(resumed.settings[i].acc, reference.settings[i].acc) << i;
+    EXPECT_EQ(resumed.settings[i].asr, reference.settings[i].asr) << i;
+    EXPECT_EQ(resumed.settings[i].ra, reference.settings[i].ra) << i;
+  }
+  ASSERT_EQ(resumed.baselines.size(), 1u);
+  EXPECT_EQ(resumed.baselines[0].second.acc, reference.baselines[0].second.acc);
+}
+
+TEST_F(TableResume, FullyJournaledRunSkipsAttackTraining) {
+  eval::TableSpec spec;
+  spec.title = "resume-full";
+  spec.dataset = "cifar";
+  spec.arch = "vgg";
+  spec.attacks = {"badnet"};
+  spec.defenses = {"clp"};
+  spec.scale = micro_scale();
+
+  TempFile journal("journal_full");
+  spec.journal_path = journal.path();
+  spec.resume = false;
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun first = eval::run_table(spec);
+  const std::string first_out = strip_timing(
+      ::testing::internal::GetCapturedStdout());
+
+  spec.resume = true;
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun second = eval::run_table(spec);
+  const std::string second_out = strip_timing(
+      ::testing::internal::GetCapturedStdout());
+
+  // Everything (baseline included) came from the journal: no retraining,
+  // identical tables.
+  EXPECT_EQ(second.resumed_cells, 1u);
+  EXPECT_EQ(second_out, first_out);
+  EXPECT_EQ(second.baselines[0].second.asr, first.baselines[0].second.asr);
+}
+
+}  // namespace
+}  // namespace bd
