@@ -1,11 +1,22 @@
 // Kernel microbenchmarks (google-benchmark): matmul, conv forward/backward,
 // batchnorm and a full small-model training step. These establish the
 // engine throughput underlying every experiment in the paper reproduction.
+//
+// Besides the console table, every run writes a machine-readable summary to
+// BENCH_kernels.json (override the path with BDPROTO_BENCH_JSON) so CI can
+// archive kernel throughput across commits.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "models/factory.h"
 #include "nn/layers.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "tensor/conv.h"
 #include "tensor/ops.h"
@@ -132,6 +143,117 @@ void BM_ModelTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelTrainStep);
 
+// Observability off-path overhead: both pillars disabled, so each iteration
+// pays exactly one relaxed atomic load in the Span constructor (and nothing
+// in the destructor). Tracks the "costs nothing when off" guarantee that
+// tests/obs_test.cpp asserts with a wall-clock bound.
+void BM_SpanOverhead(benchmark::State& state) {
+  bd::obs::set_metrics_enabled(false);
+  bd::obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    bd::obs::Span span("bench.span_overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverhead);
+
+// Same guarantee for the combined kernel probe (span + counters + duration
+// histogram): disabled, it is one atomic load after the first call.
+void BM_KernelProbeOverhead(benchmark::State& state) {
+  bd::obs::set_metrics_enabled(false);
+  bd::obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    BD_OBS_KERNEL("bench.kernel_probe_overhead", 1);
+    benchmark::DoNotOptimize(&state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelProbeOverhead);
+
+/// Collects per-benchmark results for the JSON export. `op` is the function
+/// name, `shape` the slash-separated argument suffix (the pool size for the
+/// */Parallel variants), `threads` the runtime pool width in effect.
+class JsonCollector : public benchmark::BenchmarkReporter {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_op;
+    std::int64_t iterations;
+  };
+
+  bool ReportContext(const Context& context) override {
+    return console_.ReportContext(context);
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type == Run::RT_Aggregate || run.error_occurred) continue;
+      const double ns =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      rows_.push_back({run.benchmark_name(), ns, run.iterations});
+    }
+  }
+
+  bool write_json(const std::string& path) const {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    os << "{\"benchmarks\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      const std::size_t slash = r.name.find('/');
+      const std::string op = r.name.substr(0, slash);
+      const std::string shape =
+          slash == std::string::npos ? "" : r.name.substr(slash + 1);
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.3f", r.ns_per_op);
+      os << (i ? ",\n" : "\n") << "{\"name\":\"" << r.name << "\",\"op\":\""
+         << op << "\",\"shape\":\"" << shape
+         << "\",\"threads\":" << bd::runtime::thread_count()
+         << ",\"iterations\":" << r.iterations << ",\"ns_per_op\":" << num
+         << '}';
+    }
+    os << "\n]}\n";
+    return static_cast<bool>(os);
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  // Delegate display to the standard console table; this reporter is passed
+  // as the display reporter because the library insists on --benchmark_out
+  // whenever a separate file reporter is supplied.
+  benchmark::ConsoleReporter console_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  JsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+
+  const char* env_path = std::getenv("BDPROTO_BENCH_JSON");
+  const std::string json_path =
+      (env_path != nullptr && env_path[0] != '\0') ? env_path
+                                                   : "BENCH_kernels.json";
+  if (!collector.empty()) {
+    if (collector.write_json(json_path)) {
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "core/registry.h"
 #include "eval/runner.h"
 #include "nn/checkpoint.h"
+#include "obs/obs.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -57,7 +58,8 @@ Args parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bdctl <train-backdoor|evaluate|defend|verify> [flags]\n"
+               "usage: bdctl <train-backdoor|evaluate|defend|verify|profile>"
+               " [flags]\n"
                "  common   : --attack badnet|blended|lf|bpp|dynamic\n"
                "             --arch preactresnet|vgg|efficientnet|mobilenet\n"
                "             --dataset cifar|gtsrb  --seed N  --width N\n"
@@ -67,7 +69,14 @@ int usage() {
                "ftsam|anp|gradprune --spc N --out repaired.ckpt\n"
                "  verify   : bdctl verify <checkpoint>  (checks magic/"
                "version/CRC, prints the state dict,\n"
-               "             exits non-zero on corruption)\n");
+               "             exits non-zero on corruption)\n"
+               "  profile  : --defense NAME --spc N --epochs N --rounds N "
+               "--topk N\n"
+               "             runs an instrumented attack+defense workload and "
+               "prints the span\n"
+               "             tree plus top metrics; honors BDPROTO_TRACE/"
+               "BDPROTO_METRICS export\n"
+               "             paths\n");
   return 2;
 }
 
@@ -174,6 +183,46 @@ int cmd_defend(const Args& args) {
   return 0;
 }
 
+/// `bdctl profile`: run a deliberately small attack + defense workload with
+/// both observability pillars forced on, then print the hierarchical span
+/// tree and the busiest metrics. When BDPROTO_TRACE / BDPROTO_METRICS name
+/// export paths, the trace/metrics files are written as well.
+int cmd_profile(const Args& args) {
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+
+  const std::string dataset = args.get("dataset", "cifar");
+  const std::string arch = args.get("arch", "preactresnet");
+  const std::string attack = args.get("attack", "badnet");
+  const std::string defense_name = args.get("defense", "gradprune");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  const auto topk = static_cast<std::size_t>(args.get_int("topk", 10));
+
+  eval::ExperimentScale scale = eval::default_scale(dataset);
+  scale.base_width = args.get_int("width", scale.base_width);
+  scale.attack_train.epochs = args.get_int("epochs", 2);
+  scale.prune_max_rounds = args.get_int("rounds", 6);
+  scale.defense_max_epochs = args.get_int("ft-epochs", 3);
+
+  const auto bd_model =
+      eval::prepare_backdoored_model(dataset, arch, attack, scale, seed);
+  const auto trial = eval::run_defense_trial(
+      bd_model, defense_name, args.get_int("spc", 10), scale,
+      seed ^ 0xBDC71EULL);
+
+  std::printf("profiled %s + %s on %s/%s: ACC=%.2f ASR=%.2f RA=%.2f "
+              "pruned=%lld (%.1fs)\n",
+              attack.c_str(), defense_name.c_str(), dataset.c_str(),
+              arch.c_str(), trial.metrics.acc, trial.metrics.asr,
+              trial.metrics.ra,
+              static_cast<long long>(trial.info.pruned_units),
+              trial.info.seconds);
+  std::printf("\n-- span tree --\n%s", obs::render_span_tree().c_str());
+  std::printf("\n-- metrics --\n%s", obs::registry().summary(topk).c_str());
+  obs::flush_env_exports();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +235,7 @@ int main(int argc, char** argv) {
     if (args.command == "train-backdoor") return cmd_train(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "defend") return cmd_defend(args);
+    if (args.command == "profile") return cmd_profile(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bdctl: %s\n", e.what());

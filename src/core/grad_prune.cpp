@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "eval/metrics.h"
 #include "eval/trainer.h"
+#include "obs/obs.h"
 #include "robust/fault_injector.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -19,6 +20,8 @@ std::vector<FilterScore> score_filters(models::Classifier& model,
                                        std::int64_t batch_size) {
   // Accumulate the gradient of the SUM cross-entropy (Eq. 2) over the whole
   // unlearning set. Each batch contributes mean-CE * batch_size.
+  BD_OBS_SPAN_ARG("gradprune.score",
+                  static_cast<std::int64_t>(backdoor_true.size()));
   model.set_training(false);  // gradients through frozen BN statistics
   model.zero_grad();
 
@@ -56,6 +59,7 @@ std::vector<FilterScore> score_filters(models::Classifier& model,
           {ci, f, l1 / static_cast<double>(count)});  // Eq. 3
     }
   }
+  BD_OBS_COUNT("gradprune.filters_scored", scores.size());
   model.zero_grad();
   if (robust::FaultInjector::instance().fire_nan_grad()) {
     // Injected gradient blow-up: the whole scoring pass is garbage, exactly
@@ -90,6 +94,7 @@ std::optional<FilterScore> best_filter_to_prune(
 
 defense::DefenseResult GradPruneDefense::apply(
     models::Classifier& model, const defense::DefenseContext& context) {
+  BD_OBS_SPAN("defense.gradprune");
   Stopwatch watch;
   defense::DefenseResult out;
   out.defense_name = name();
@@ -108,6 +113,7 @@ defense::DefenseResult GradPruneDefense::apply(
     std::int64_t rounds_without_improvement = 0;
 
     for (std::int64_t round = 0; round < config_.max_prune_rounds; ++round) {
+      BD_OBS_SPAN_ARG("gradprune.round", round);
       const auto scores =
           score_filters(model, context.backdoor_train, config_.batch_size);
       if (!scores_finite(scores)) {
@@ -129,12 +135,22 @@ defense::DefenseResult GradPruneDefense::apply(
         BD_LOG(Warn) << "gradprune: no filters left to prune";
         break;
       }
-      convs[target->conv_index]->prune_filter(target->filter);
+      {
+        BD_OBS_SPAN_ARG("gradprune.prune", target->filter);
+        convs[target->conv_index]->prune_filter(target->filter);
+      }
       prune_history.emplace_back(target->conv_index, target->filter);
+      BD_OBS_COUNT("gradprune.filters_pruned", 1);
 
-      const double val_acc = eval::accuracy(model, context.clean_val);
-      const double unlearn_loss =
-          eval::dataset_loss(model, context.backdoor_val);
+      double val_acc, unlearn_loss;
+      {
+        BD_OBS_SPAN("gradprune.eval");
+        val_acc = eval::accuracy(model, context.clean_val);
+        unlearn_loss = eval::dataset_loss(model, context.backdoor_val);
+      }
+      BD_OBS_GAUGE("gradprune.val_acc", val_acc);
+      BD_OBS_GAUGE("gradprune.unlearn_loss", unlearn_loss);
+      BD_OBS_GAUGE("gradprune.pruned_xi", target->xi);
       BD_LOG(Debug) << "gradprune round " << (round + 1) << " pruned conv#"
                     << target->conv_index << " filter " << target->filter
                     << " xi=" << target->xi << " val_acc=" << val_acc
@@ -148,6 +164,9 @@ defense::DefenseResult GradPruneDefense::apply(
       } else {
         ++rounds_without_improvement;
       }
+      BD_OBS_GAUGE("gradprune.best_unlearn_loss", best_unlearn_loss);
+      BD_OBS_GAUGE("gradprune.rounds_without_improvement",
+                   rounds_without_improvement);
 
       if (val_acc < acc_floor) {
         BD_LOG(Debug) << "gradprune: accuracy floor reached";
@@ -170,6 +189,7 @@ defense::DefenseResult GradPruneDefense::apply(
   }
 
   if (config_.finetune) {
+    BD_OBS_SPAN("gradprune.finetune");
     // Fine-tune on ALL defender data: clean + correctly-relabelled backdoor
     // samples (Sec. IV-C), early-stopped on the combined validation loss.
     const auto ft_train =

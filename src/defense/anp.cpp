@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "eval/metrics.h"
 #include "nn/layers.h"
+#include "obs/obs.h"
 #include "optim/optim.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -15,6 +16,7 @@ namespace bd::defense {
 
 DefenseResult AnpDefense::apply(models::Classifier& model,
                                 const DefenseContext& context) {
+  BD_OBS_SPAN("defense.anp");
   Stopwatch watch;
   Rng& rng = context.rng_ref();
   DefenseResult out;
@@ -56,6 +58,7 @@ DefenseResult AnpDefense::apply(models::Classifier& model,
   };
 
   for (std::int64_t it = 0; it < config_.iterations; ++it) {
+    BD_OBS_SPAN_ARG("anp.mask_iter", it);
     if (!loader.next(batch)) {
       loader.reset();
       loader.next(batch);
@@ -139,6 +142,8 @@ DefenseResult AnpDefense::apply(models::Classifier& model,
               return a.mask < b.mask;
             });
 
+  BD_OBS_SPAN_ARG("anp.prune",
+                  static_cast<std::int64_t>(candidates.size()));
   const double initial_acc = eval::accuracy(model, context.clean_val);
   const double floor = initial_acc - config_.max_accuracy_drop;
   for (const auto& cand : candidates) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -58,6 +59,7 @@ std::vector<float> channel_lipschitz_bounds(nn::Conv2d& conv,
 
 DefenseResult ClpDefense::apply(models::Classifier& model,
                                 const DefenseContext& /*context*/) {
+  BD_OBS_SPAN("defense.clp");
   Stopwatch watch;
   DefenseResult out;
   out.defense_name = name();
@@ -81,8 +83,11 @@ DefenseResult ClpDefense::apply(models::Classifier& model,
       }
     }
 
-    const auto bounds =
-        channel_lipschitz_bounds(*conv, bn, config_.power_iterations);
+    std::vector<float> bounds;
+    {
+      BD_OBS_SPAN_ARG("clp.lipschitz", conv->out_channels());
+      bounds = channel_lipschitz_bounds(*conv, bn, config_.power_iterations);
+    }
     RunningStat stat;
     for (const float b : bounds) stat.add(b);
     const double threshold = stat.mean() + config_.u * stat.stddev();

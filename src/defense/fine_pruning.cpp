@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "eval/trainer.h"
 #include "nn/layers.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -62,16 +63,22 @@ nn::Conv2d* matching_last_conv(models::Classifier& model,
 
 DefenseResult FinePruningDefense::apply(models::Classifier& model,
                                         const DefenseContext& context) {
+  BD_OBS_SPAN("defense.fine_pruning");
   Stopwatch watch;
   DefenseResult out;
   out.defense_name = name();
 
-  const auto activations =
-      channel_activations(model, context.clean_train, config_.batch_size);
+  std::vector<double> activations;
+  {
+    BD_OBS_SPAN("fine_pruning.activations");
+    activations =
+        channel_activations(model, context.clean_train, config_.batch_size);
+  }
   nn::Conv2d* conv = matching_last_conv(
       model, static_cast<std::int64_t>(activations.size()));
 
   if (conv != nullptr) {
+    BD_OBS_SPAN("fine_pruning.prune");
     // Ascending activation order: prune the most dormant filters first.
     std::vector<std::size_t> order(activations.size());
     std::iota(order.begin(), order.end(), 0);
@@ -106,6 +113,7 @@ DefenseResult FinePruningDefense::apply(models::Classifier& model,
 
   // Fixed-budget recovery fine-tune (BackdoorBench-style), re-asserting the
   // prune mask afterwards.
+  BD_OBS_SPAN("fine_pruning.finetune");
   eval::TrainConfig ft;
   ft.epochs = config_.finetune_max_epochs;
   ft.batch_size = config_.batch_size;

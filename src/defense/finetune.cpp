@@ -1,12 +1,14 @@
 #include "defense/finetune.h"
 
 #include "eval/trainer.h"
+#include "obs/obs.h"
 #include "util/stopwatch.h"
 
 namespace bd::defense {
 
 DefenseResult FinetuneDefense::apply(models::Classifier& model,
                                      const DefenseContext& context) {
+  BD_OBS_SPAN("defense.finetune");
   Stopwatch watch;
   eval::TrainConfig cfg;
   cfg.epochs = config_.max_epochs;

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "eval/metrics.h"
+#include "obs/obs.h"
 #include "optim/optim.h"
 #include "util/stopwatch.h"
 
@@ -11,6 +12,7 @@ namespace bd::defense {
 
 DefenseResult FtSamDefense::apply(models::Classifier& model,
                                   const DefenseContext& context) {
+  BD_OBS_SPAN("defense.ftsam");
   Stopwatch watch;
   Rng& rng = context.rng_ref();
 
@@ -24,6 +26,7 @@ DefenseResult FtSamDefense::apply(models::Classifier& model,
   out.defense_name = name();
 
   for (std::int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    BD_OBS_SPAN_ARG("ftsam.epoch", epoch);
     model.set_training(true);
     data::DataLoader loader(context.clean_train, config_.batch_size, rng);
     data::Batch batch;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "autograd/ops.h"
+#include "obs/obs.h"
 #include "optim/optim.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -29,6 +30,7 @@ InvertedTrigger invert_trigger(models::Classifier& model,
   if (clean.empty()) {
     throw std::invalid_argument("invert_trigger: empty clean set");
   }
+  BD_OBS_SPAN_ARG("inversion.invert_trigger", target_class);
   const Shape img = clean.image_shape();  // (C,H,W)
   const std::int64_t c = img[0], h = img[1], w = img[2];
 
@@ -120,6 +122,7 @@ TargetScanResult scan_for_backdoor_target(models::Classifier& model,
                                           const data::ImageDataset& clean,
                                           const InversionConfig& config,
                                           Rng& rng) {
+  BD_OBS_SPAN("defense.inversion");
   TargetScanResult result;
   const std::int64_t classes = clean.num_classes();
   result.per_class.reserve(static_cast<std::size_t>(classes));

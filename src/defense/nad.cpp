@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "eval/trainer.h"
+#include "obs/obs.h"
 #include "optim/optim.h"
 #include "util/stopwatch.h"
 
@@ -17,6 +18,7 @@ ag::Var attention_map(const ag::Var& feature) {
 
 DefenseResult NadDefense::apply(models::Classifier& model,
                                 const DefenseContext& context) {
+  BD_OBS_SPAN("defense.nad");
   Stopwatch watch;
   Rng& rng = context.rng_ref();
   DefenseResult out;
@@ -29,9 +31,13 @@ DefenseResult NadDefense::apply(models::Classifier& model,
   teacher_cfg.epochs = config_.teacher_epochs;
   teacher_cfg.batch_size = config_.batch_size;
   teacher_cfg.lr = config_.lr;
-  const eval::TrainResult teacher_train =
-      eval::train_classifier(*teacher, context.clean_train, teacher_cfg, rng);
-  out.recoveries = teacher_train.guard.recoveries;
+  {
+    BD_OBS_SPAN("nad.teacher");
+    const eval::TrainResult teacher_train =
+        eval::train_classifier(*teacher, context.clean_train, teacher_cfg,
+                               rng);
+    out.recoveries = teacher_train.guard.recoveries;
+  }
   teacher->set_training(false);
 
   // 2. Distillation: CE + beta * sum_l ||A_l(S) - A_l(T)||^2.
@@ -41,6 +47,7 @@ DefenseResult NadDefense::apply(models::Classifier& model,
   optim::Sgd sgd(model.parameters(), opts);
 
   for (std::int64_t epoch = 0; epoch < config_.distill_epochs; ++epoch) {
+    BD_OBS_SPAN_ARG("nad.distill_epoch", epoch);
     model.set_training(true);
     data::DataLoader loader(context.clean_train, config_.batch_size, rng);
     data::Batch batch;

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "autograd/ops.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -30,6 +31,8 @@ class EvalModeScope {
 double accuracy(models::Classifier& model, const data::ImageDataset& dataset,
                 std::int64_t batch_size) {
   if (dataset.empty()) return 0.0;
+  BD_OBS_SPAN_ARG("eval.accuracy",
+                  static_cast<std::int64_t>(dataset.size()));
   EvalModeScope scope(model);
   ag::NoGradGuard no_grad;
 
@@ -62,6 +65,8 @@ double dataset_loss(models::Classifier& model,
                     const data::ImageDataset& dataset,
                     std::int64_t batch_size) {
   if (dataset.empty()) return 0.0;
+  BD_OBS_SPAN_ARG("eval.dataset_loss",
+                  static_cast<std::int64_t>(dataset.size()));
   EvalModeScope scope(model);
   ag::NoGradGuard no_grad;
 
@@ -83,6 +88,7 @@ BackdoorMetrics evaluate_backdoor(models::Classifier& model,
                                   const data::ImageDataset& asr_test,
                                   const data::ImageDataset& ra_test,
                                   std::int64_t batch_size) {
+  BD_OBS_SPAN("eval.backdoor");
   BackdoorMetrics m;
   m.acc = 100.0 * accuracy(model, clean_test, batch_size);
   m.asr = 100.0 * accuracy(model, asr_test, batch_size);

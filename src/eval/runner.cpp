@@ -10,6 +10,7 @@
 #include "defense/finetune.h"
 #include "defense/ftsam.h"
 #include "defense/nad.h"
+#include "obs/obs.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -62,6 +63,7 @@ BackdooredModel prepare_backdoored_model(const std::string& dataset,
                                          const std::string& attack,
                                          const ExperimentScale& scale,
                                          std::uint64_t seed) {
+  BD_OBS_SPAN("runner.prepare");
   Stopwatch watch;
   Rng rng(seed);
 
@@ -163,6 +165,8 @@ TrialResult run_defense_trial(const BackdooredModel& bd,
                               const std::string& defense_name,
                               std::int64_t spc, const ExperimentScale& scale,
                               std::uint64_t trial_seed) {
+  BD_OBS_SPAN_ARG("runner.trial", spc);
+  BD_OBS_COUNT("runner.trials", 1);
   Rng rng(trial_seed);
   auto model = bd.instantiate(rng);
 
@@ -183,6 +187,8 @@ TrialResult run_custom_defense_trial(const BackdooredModel& bd,
                                      defense::Defense& defense,
                                      std::int64_t spc,
                                      std::uint64_t trial_seed) {
+  BD_OBS_SPAN_ARG("runner.trial", spc);
+  BD_OBS_COUNT("runner.trials", 1);
   Rng rng(trial_seed);
   auto model = bd.instantiate(rng);
 

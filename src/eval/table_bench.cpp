@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/registry.h"
+#include "obs/obs.h"
 #include "robust/fault_injector.h"
 #include "robust/journal.h"
 #include "util/env.h"
@@ -148,6 +149,7 @@ SettingResult decode_setting(const robust::JournalFields& f) {
 }  // namespace
 
 TableRun run_table(const TableSpec& spec) {
+  BD_OBS_SPAN("bench.table");
   Stopwatch watch;
   const ExperimentScale scale =
       spec.scale ? *spec.scale : default_scale(spec.dataset);
@@ -224,6 +226,7 @@ TableRun run_table(const TableSpec& spec) {
       BD_LOG(Info) << attack << ": all cells journaled, skipping attack "
                       "training";
     } else {
+      BD_OBS_SPAN("bench.attack_prepare");
       bd.emplace(prepare_backdoored_model(spec.dataset, spec.arch, attack,
                                           scale, model_seed));
       baseline = bd->baseline;
@@ -246,8 +249,14 @@ TableRun run_table(const TableSpec& spec) {
       if (cached != nullptr) {
         setting = decode_setting(*cached);
         ++run.resumed_cells;
+        BD_OBS_COUNT("bench.cells_resumed", 1);
       } else {
+        BD_OBS_SPAN_ARG("bench.cell", cell.spc);
+        BD_OBS_COUNT("bench.cells_run", 1);
+        Stopwatch cell_watch;
         setting = run_setting(*bd, *cell.defense, cell.spc, scale, cell.seed);
+        BD_OBS_OBSERVE("bench.cell_seconds", cell_watch.seconds(),
+                       ::bd::obs::seconds_buckets());
         if (journal.enabled()) {
           journal.record(cell.key, encode_setting(setting));
         }

@@ -5,6 +5,7 @@
 
 #include "autograd/ops.h"
 #include "eval/metrics.h"
+#include "obs/obs.h"
 #include "optim/optim.h"
 #include "robust/fault_injector.h"
 #include "runtime/thread_pool.h"
@@ -49,6 +50,7 @@ TrainResult train_classifier(models::Classifier& model,
   if (train.empty()) {
     throw std::invalid_argument("train_classifier: empty training set");
   }
+  BD_OBS_SPAN_ARG("train.run", config.epochs);
   model.set_training(true);
   if (config.verbose) {
     BD_LOG(Info) << "training on " << runtime::thread_count()
@@ -68,6 +70,7 @@ TrainResult train_classifier(models::Classifier& model,
   std::int64_t epoch = 0;
   bool stop = false;
   while (epoch < config.epochs && !stop) {
+    BD_OBS_SPAN_ARG("train.epoch", epoch);
     data::DataLoader loader(train, config.batch_size, rng);
     data::Batch batch;
     double total = 0.0;
@@ -75,6 +78,9 @@ TrainResult train_classifier(models::Classifier& model,
     std::int64_t step = 0;
     bool rolled_back = false;
     while (loader.next(batch)) {
+      BD_OBS_SPAN_ARG("train.batch", step);
+      BD_OBS_COUNT("train.batches", 1);
+      BD_OBS_COUNT("train.samples", batch.size());
       data::augment_batch_inplace(batch, config.augment, rng);
       sgd.zero_grad();
       const ag::Var logits = model.forward(ag::Var(batch.images));
@@ -108,6 +114,7 @@ TrainResult train_classifier(models::Classifier& model,
     if (stop) break;
     if (rolled_back) continue;  // retry this epoch from the snapshot
     result.final_loss = total / static_cast<double>(seen);
+    BD_OBS_GAUGE("train.epoch_loss", result.final_loss);
     if (config.verbose) {
       BD_LOG(Info) << "epoch " << (epoch + 1) << "/" << config.epochs
                    << " loss=" << result.final_loss
@@ -129,6 +136,7 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
   if (train.empty() || val.empty()) {
     throw std::invalid_argument("finetune_early_stopping: empty train or val");
   }
+  BD_OBS_SPAN_ARG("finetune.run", config.max_epochs);
   optim::SgdOptions opts;
   opts.lr = config.lr;
   opts.momentum = config.momentum;
@@ -146,12 +154,15 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
   std::int64_t epoch = 0;
   bool stop = false;
   while (epoch < config.max_epochs && !stop) {
+    BD_OBS_SPAN_ARG("finetune.epoch", epoch);
     model.set_training(true);
     data::DataLoader loader(train, config.batch_size, rng);
     data::Batch batch;
     std::int64_t step = 0;
     bool rolled_back = false;
     while (loader.next(batch)) {
+      BD_OBS_SPAN_ARG("finetune.batch", step);
+      BD_OBS_COUNT("finetune.batches", 1);
       sgd.zero_grad();
       const ag::Var logits = model.forward(ag::Var(batch.images));
       ag::Var loss = ag::cross_entropy(logits, batch.labels);
@@ -185,6 +196,7 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
     ++result.epochs_run;
 
     const double val_loss = dataset_loss(model, val);
+    BD_OBS_GAUGE("finetune.val_loss", val_loss);
     if (config.verbose) {
       BD_LOG(Info) << "finetune epoch " << (epoch + 1)
                    << " val_loss=" << val_loss

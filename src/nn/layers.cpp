@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace bd::nn {
@@ -151,6 +152,7 @@ ag::Var BatchNorm2d::forward(const ag::Var& x) {
                                 shape_string(x.value().shape()));
   }
   const Shape cshape{1, channels_, 1, 1};
+  BD_OBS_KERNEL("kernel.batchnorm", x.value().numel());
 
   // Effective scale: gamma, optionally perturbed (ANP's adversarial inner
   // step). The ANP channel mask multiplies the whole affine OUTPUT below

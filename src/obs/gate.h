@@ -1,0 +1,76 @@
+// bd::obs gate — the on/off switch for the whole observability subsystem.
+//
+// Both pillars (metrics and trace spans) are gated by one process-wide
+// atomic word so the disabled path of every instrumentation macro compiles
+// down to a single relaxed load plus a branch. The flags initialize from
+// the BDPROTO_METRICS / BDPROTO_TRACE environment knobs on first use:
+//
+//   unset, "", "0", "off", "false"  -> disabled (the default)
+//   "1", "on", "true"               -> enabled, default export path
+//   anything else                   -> enabled, value IS the export path
+//
+// When either knob enables a pillar from the environment, the matching
+// exporter (JSONL metrics / Chrome trace) runs automatically at process
+// exit. The set_*_enabled() hooks override the environment for tests and
+// for `bdctl profile`; they never register exit exporters on their own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bd::obs {
+
+inline constexpr std::uint32_t kMetricsBit = 1u;
+inline constexpr std::uint32_t kTraceBit = 2u;
+
+namespace detail {
+
+// Starts with the uninit bit set; the first flags() call replaces it with
+// the environment-resolved value (constant-initialized, so there is no
+// static-initialization-order hazard).
+inline constexpr std::uint32_t kUninitBit = 0x8000'0000u;
+extern std::atomic<std::uint32_t> g_flags;
+
+/// Cold path: resolves the knobs, stores and returns the flag word.
+std::uint32_t init_flags();
+
+inline std::uint32_t flags() {
+  const std::uint32_t f = g_flags.load(std::memory_order_relaxed);
+  return (f & kUninitBit) != 0 ? init_flags() : f;
+}
+
+}  // namespace detail
+
+/// One relaxed atomic load; safe to call from any thread at any time.
+inline bool metrics_enabled() {
+  return (detail::flags() & kMetricsBit) != 0;
+}
+inline bool trace_enabled() { return (detail::flags() & kTraceBit) != 0; }
+inline bool enabled() {
+  return (detail::flags() & (kMetricsBit | kTraceBit)) != 0;
+}
+
+/// Test/tool hooks: override the environment-resolved state.
+void set_metrics_enabled(bool on);
+void set_trace_enabled(bool on);
+
+/// Test hook: forget the cached flags and re-read the environment on the
+/// next flags() call (also re-resolves the export paths).
+void reinit_from_env_for_test();
+
+/// Pure knob parsers (exposed for unit tests).
+bool knob_enables(const std::string& value);
+std::string knob_path(const std::string& value, const std::string& fallback);
+
+/// Export destinations resolved from the environment knobs; empty when the
+/// matching knob did not enable the pillar.
+std::string metrics_export_path();
+std::string trace_export_path();
+
+/// Writes the JSONL metrics / Chrome trace files for every pillar whose
+/// environment knob is on. Runs automatically at exit; callable earlier
+/// (e.g. by `bdctl profile`) — later calls simply overwrite.
+void flush_env_exports();
+
+}  // namespace bd::obs

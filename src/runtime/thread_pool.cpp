@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/env.h"
 
 namespace bd::runtime {
@@ -166,9 +167,18 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end,
   if (end <= begin) return;
   if (t_in_parallel) {
     // Nested region: run serially without touching the pool lock.
+    BD_OBS_COUNT("runtime.jobs_nested", 1);
     RegionGuard guard;
     fn(ctx, begin, end);
     return;
+  }
+  if (::bd::obs::metrics_enabled()) {
+    const std::int64_t chunks =
+        (end - begin + std::max<std::int64_t>(1, grain) - 1) /
+        std::max<std::int64_t>(1, grain);
+    BD_OBS_COUNT("runtime.jobs", 1);
+    BD_OBS_COUNT("runtime.chunks", chunks);
+    BD_OBS_COUNT("runtime.items", end - begin);
   }
   ThreadPool* pool;
   {

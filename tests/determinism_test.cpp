@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "eval/trainer.h"
 #include "models/factory.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -142,6 +143,59 @@ TEST(Determinism, ThreadCountInvariance) {
   EXPECT_DOUBLE_EQ(serial_acc, parallel_acc);
   for (const auto& [name, tensor] : serial_state) {
     expect_identical(tensor, parallel_state.at(name), name.c_str());
+  }
+}
+
+// Observability must be a pure observer: with both pillars forced on, the
+// instrumented pipeline (training AND the full Grad-Prune defense) produces
+// bitwise-identical weights to an uninstrumented run. Instruments never
+// read or advance any RNG and never feed back into computation, so this
+// holds exactly - not approximately. Uses the set_*_enabled() hooks (not
+// env mutation) so the test is hermetic.
+TEST(Determinism, ObservabilityInvariance) {
+  const auto data = make_data(25);
+  models::ModelSpec spec{"vgg", 10, 3, 8};
+  attack::BadNetsTrigger trigger;
+
+  auto run = [&] {
+    Rng train_rng(37);
+    auto model = models::make_model(spec, train_rng);
+    attack::PoisonConfig pcfg;
+    const auto poisoned =
+        attack::poison_training_set(data.train, trigger, pcfg, train_rng);
+    eval::TrainConfig tc;
+    tc.epochs = 2;
+    eval::train_classifier(*model, poisoned, tc, train_rng);
+
+    Rng defend_rng(41);
+    const auto spc = data.train.sample_per_class(3, defend_rng);
+    const auto ctx =
+        defense::make_defense_context(spc, trigger, spec, defend_rng);
+    core::GradPruneConfig cfg;
+    cfg.max_prune_rounds = 3;
+    cfg.finetune_max_epochs = 1;
+    core::GradPruneDefense defense(cfg);
+    defense.apply(*model, ctx);
+    return model->state_dict();
+  };
+
+  const auto plain = run();
+
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  const auto observed = run();
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+
+  // The instrumented run really recorded something...
+  EXPECT_GT(obs::snapshot_trace().size(), 0u);
+  obs::clear_trace();
+  obs::registry().reset_values();
+
+  // ...and changed nothing.
+  ASSERT_EQ(plain.size(), observed.size());
+  for (const auto& [name, tensor] : plain) {
+    expect_identical(tensor, observed.at(name), name.c_str());
   }
 }
 

@@ -1,0 +1,417 @@
+// Observability subsystem: metric semantics, span nesting across the
+// parallel runtime, exporter validity, env-knob gating — and the harness
+// that proves instrumentation costs (almost) nothing when off.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace bd::obs {
+namespace {
+
+/// Every test must leave the process-wide observability state exactly as it
+/// found it (disabled, empty trace), because the instruments are global.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    clear_trace();
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    clear_trace();
+    set_trace_capacity_for_test(0);
+  }
+};
+
+TEST_F(ObsTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterConcurrentAdds) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST_F(ObsTest, GaugeSemantics) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1.0      -> bucket 0
+  h.observe(1.0);    // == bound    -> bucket 0 (le semantics)
+  h.observe(5.0);    //             -> bucket 1
+  h.observe(100.0);  //             -> bucket 2
+  h.observe(1e9);    // overflow    -> bucket 3
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e9);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsBadLayouts) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({10.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, FixedBucketLayouts) {
+  EXPECT_EQ(duration_ns_buckets().size(), 8u);
+  EXPECT_EQ(duration_ns_buckets().front(), 1e3);
+  EXPECT_EQ(duration_ns_buckets().back(), 1e10);
+  EXPECT_EQ(seconds_buckets().size(), 7u);
+  EXPECT_EQ(seconds_buckets().front(), 1e-3);
+  EXPECT_EQ(seconds_buckets().back(), 1e3);
+}
+
+TEST_F(ObsTest, RegistryGetOrCreate) {
+  Counter& a = registry().counter("obs_test.counter");
+  Counter& b = registry().counter("obs_test.counter");
+  EXPECT_EQ(&a, &b);
+  Histogram& h = registry().histogram("obs_test.hist", {1.0, 2.0});
+  // Bounds apply only on first registration; same instrument afterwards.
+  Histogram& h2 = registry().histogram("obs_test.hist", {99.0});
+  EXPECT_EQ(&h, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST_F(ObsTest, KnobParsing) {
+  EXPECT_FALSE(knob_enables(""));
+  EXPECT_FALSE(knob_enables("0"));
+  EXPECT_FALSE(knob_enables("off"));
+  EXPECT_FALSE(knob_enables("OFF"));
+  EXPECT_FALSE(knob_enables("false"));
+  EXPECT_TRUE(knob_enables("1"));
+  EXPECT_TRUE(knob_enables("on"));
+  EXPECT_TRUE(knob_enables("TRUE"));
+  EXPECT_TRUE(knob_enables("/tmp/out.json"));
+
+  EXPECT_EQ(knob_path("1", "default.json"), "default.json");
+  EXPECT_EQ(knob_path("ON", "default.json"), "default.json");
+  EXPECT_EQ(knob_path("true", "default.json"), "default.json");
+  EXPECT_EQ(knob_path("/tmp/custom.json", "default.json"),
+            "/tmp/custom.json");
+}
+
+TEST_F(ObsTest, EnvKnobGating) {
+  // Default (knobs unset): everything off after a reinit.
+  ::unsetenv("BDPROTO_METRICS");
+  ::unsetenv("BDPROTO_TRACE");
+  reinit_from_env_for_test();
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(metrics_export_path(), "");
+  EXPECT_EQ(trace_export_path(), "");
+
+  ::setenv("BDPROTO_METRICS", "1", 1);
+  ::setenv("BDPROTO_TRACE", "/tmp/obs_test_trace.json", 1);
+  reinit_from_env_for_test();
+  EXPECT_TRUE(metrics_enabled());
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_EQ(metrics_export_path(), "bdproto_metrics.jsonl");
+  EXPECT_EQ(trace_export_path(), "/tmp/obs_test_trace.json");
+
+  ::setenv("BDPROTO_METRICS", "off", 1);
+  ::setenv("BDPROTO_TRACE", "0", 1);
+  reinit_from_env_for_test();
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(trace_enabled());
+
+  ::unsetenv("BDPROTO_METRICS");
+  ::unsetenv("BDPROTO_TRACE");
+  reinit_from_env_for_test();
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(ObsTest, SetHooksToggleIndependently) {
+  set_trace_enabled(true);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_trace_enabled(false);
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_TRUE(metrics_enabled());
+}
+
+TEST_F(ObsTest, SpanRecordsNothingWhenOff) {
+  clear_trace();
+  const auto before = snapshot_trace().size();
+  {
+    Span s("obs_test.off");
+    Span t("obs_test.off_nested", 7);
+  }
+  EXPECT_EQ(snapshot_trace().size(), before);
+}
+
+TEST_F(ObsTest, SpanNestingOnOneThread) {
+  set_trace_enabled(true);
+  clear_trace();
+  {
+    Span outer("obs_test.outer", 1);
+    { Span inner("obs_test.inner", 2); }
+    { Span inner("obs_test.inner", 3); }
+  }
+  const auto events = snapshot_trace();
+  ASSERT_EQ(events.size(), 6u);
+  // Record order on a single thread is B(outer) B/E(inner) B/E(inner)
+  // E(outer); all on the same tid with monotone timestamps.
+  EXPECT_STREQ(events[0].name, "obs_test.outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].arg, 1);
+  EXPECT_STREQ(events[5].name, "obs_test.outer");
+  EXPECT_EQ(events[5].phase, 'E');
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tid, events[0].tid);
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST_F(ObsTest, SpanNestingAcrossParallelWorkers) {
+  runtime::set_thread_count(4);
+  set_trace_enabled(true);
+  clear_trace();
+
+  constexpr std::int64_t kChunks = 64;
+  {
+    Span outer("obs_test.parallel_outer");
+    runtime::parallel_for(0, kChunks, 1, [](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        Span chunk("obs_test.chunk", i);
+        // A nested span inside the worker, as kernels produce.
+        Span inner("obs_test.chunk_inner");
+      }
+    });
+  }
+  runtime::set_thread_count(0);
+
+  const auto events = snapshot_trace();
+  // Per-tid streams must be balanced and properly nested.
+  std::map<std::uint32_t, std::vector<const char*>> stacks;
+  std::int64_t chunk_begins = 0;
+  for (const auto& e : events) {
+    auto& stack = stacks[e.tid];
+    if (e.phase == 'B') {
+      stack.push_back(e.name);
+      if (std::string_view(e.name) == "obs_test.chunk") ++chunk_begins;
+    } else {
+      ASSERT_FALSE(stack.empty()) << "unbalanced E on tid " << e.tid;
+      EXPECT_STREQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  // Chunk boundaries are deterministic: exactly one span per chunk executed,
+  // spread over however many workers picked them up.
+  EXPECT_EQ(chunk_begins, kChunks);
+}
+
+TEST_F(ObsTest, ChromeTraceExportParsesBack) {
+  set_trace_enabled(true);
+  clear_trace();
+  {
+    Span outer("obs_test.export", 5);
+    Span inner("obs_test.export_inner");
+  }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":5}"), std::string::npos);
+
+  // Hand-rolled pairing check: equal numbers of begin and end events.
+  auto count = [&json](const char* needle) {
+    std::size_t n = 0, pos = 0;
+    const std::string s(needle);
+    while ((pos = json.find(s, pos)) != std::string::npos) {
+      ++n;
+      pos += s.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count("\"cat\":\"bd\""), 4u);
+}
+
+TEST_F(ObsTest, JsonlExportIsValid) {
+  registry().counter("obs_test.export_counter").add(3);
+  registry().gauge("obs_test.export_gauge").set(1.5);
+  registry()
+      .histogram("obs_test.export_hist", {10.0, 20.0})
+      .observe(15.0);
+
+  std::ostringstream os;
+  registry().write_jsonl(os);
+  const std::string jsonl = os.str();
+
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":"
+                       "\"obs_test.export_counter\",\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"obs_test.export_gauge\",\"value\":1.5}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"obs_test.export_hist\""), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"le\":\"+Inf\","), std::string::npos);
+
+  // Every line is one object: starts with '{', ends with '}'.
+  std::istringstream is(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_GE(lines, 3u);
+}
+
+TEST_F(ObsTest, CapacityDropKeepsPairsBalanced) {
+  set_trace_enabled(true);
+  clear_trace();
+  set_trace_capacity_for_test(4);
+
+  for (int i = 0; i < 8; ++i) {
+    Span outer("obs_test.cap_outer", i);
+    Span inner("obs_test.cap_inner");
+  }
+  EXPECT_GT(trace_dropped_count(), 0u);
+
+  const auto events = snapshot_trace();
+  std::vector<const char*> stack;
+  for (const auto& e : events) {
+    if (e.phase == 'B') {
+      stack.push_back(e.name);
+    } else {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_STREQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  // Dropping a 'B' suppresses its whole subtree, so the export is still a
+  // valid forest even though events were discarded.
+  EXPECT_LE(events.size(), 4u + 1u);  // one 'E' may land past the cap
+
+  set_trace_capacity_for_test(0);
+  clear_trace();
+  {
+    Span s("obs_test.cap_restored");
+  }
+  EXPECT_GE(snapshot_trace().size(), 2u);
+}
+
+TEST_F(ObsTest, RenderSpanTreeAggregates) {
+  set_trace_enabled(true);
+  clear_trace();
+  {
+    Span outer("obs_test.tree_outer");
+    { Span inner("obs_test.tree_inner"); }
+    { Span inner("obs_test.tree_inner"); }
+  }
+  const std::string tree = render_span_tree();
+  EXPECT_NE(tree.find("obs_test.tree_outer"), std::string::npos);
+  EXPECT_NE(tree.find("obs_test.tree_inner"), std::string::npos);
+  EXPECT_NE(tree.find("2 x"), std::string::npos);
+
+  clear_trace();
+  EXPECT_EQ(render_span_tree(), "(no spans recorded)\n");
+}
+
+TEST_F(ObsTest, KernelProbeRecordsWhenMetricsOn) {
+  set_metrics_enabled(true);
+  const std::uint64_t calls_before =
+      registry().counter("kernel.matmul.calls").value();
+  const std::uint64_t items_before =
+      registry().counter("kernel.matmul.items").value();
+
+  Tensor a({4, 8});
+  Tensor b({8, 2});
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] = 1.0f;
+  for (std::int64_t i = 0; i < b.numel(); ++i) b[i] = 2.0f;
+  (void)matmul(a, b);
+
+  EXPECT_EQ(registry().counter("kernel.matmul.calls").value(),
+            calls_before + 1);
+  EXPECT_EQ(registry().counter("kernel.matmul.items").value(),
+            items_before + 4u * 8u * 2u);
+}
+
+TEST_F(ObsTest, ResetValuesZeroesInPlace) {
+  Counter& c = registry().counter("obs_test.reset_me");
+  c.add(5);
+  registry().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // the reference stayed valid
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// The "costs nothing when off" guarantee, as a wall-clock bound: one
+// million span enter/exit pairs with both pillars disabled. The disabled
+// path is one relaxed atomic load, so even under ASan + Debug this runs in
+// a few milliseconds; the bound is deliberately generous (2s) to stay
+// robust on loaded CI machines while still catching a regression that
+// takes a lock or allocates per span (which would be >100x slower).
+TEST_F(ObsTest, DisabledSpanOverheadGuard) {
+  ASSERT_FALSE(enabled());
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000000; ++i) {
+    Span span("obs_test.overhead");
+    (void)span;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  EXPECT_LT(ms, 2000) << "disabled spans cost " << ms << "ms per 1e6 pairs";
+  // And they really recorded nothing.
+  EXPECT_EQ(snapshot_trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace bd::obs
