@@ -13,15 +13,21 @@
 // Common flags: --seed N, --width N. The synthetic dataset is regenerated
 // deterministically from the seed, so triggered test sets are identical
 // across invocations.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/registry.h"
 #include "eval/runner.h"
 #include "nn/checkpoint.h"
 #include "obs/obs.h"
+#include "robust/journal.h"
+#include "robust/supervisor.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -70,6 +76,9 @@ int usage() {
                "  verify   : bdctl verify <checkpoint>  (checks magic/"
                "version/CRC, prints the state dict,\n"
                "             exits non-zero on corruption)\n"
+               "             bdctl verify <journal>  (run-journal summary: "
+               "entries, retries,\n"
+               "             degraded cells with failure reasons)\n"
                "  profile  : --defense NAME --spc N --epochs N --rounds N "
                "--topk N\n"
                "             runs an instrumented attack+defense workload and "
@@ -80,8 +89,62 @@ int usage() {
   return 2;
 }
 
+/// `bdctl verify <journal>`: loads a JSONL run journal and summarizes its
+/// supervisor history — entries, total retries, degraded cells and their
+/// failure reasons. Exits non-zero on a corrupt journal.
+int cmd_verify_journal(const std::string& path) {
+  try {
+    const robust::RunJournal journal(path);
+    std::int64_t retries = 0;
+    std::size_t degraded = 0;
+    std::vector<std::string> degraded_lines;
+    for (const auto& [key, fields] : journal.entries()) {
+      const auto get = [&fields](const char* name) {
+        const auto it = fields.find(name);
+        return it == fields.end() ? std::string() : it->second;
+      };
+      const std::int64_t attempts =
+          std::strtoll(get("attempts").c_str(), nullptr, 10);
+      const std::string acc = get("acc");
+      const std::int64_t cell_trials =
+          get("cell") == "baseline"
+              ? 1
+              : static_cast<std::int64_t>(
+                    std::count(acc.begin(), acc.end(), ',') +
+                    (acc.empty() ? 0 : 1));
+      if (attempts > cell_trials) retries += attempts - cell_trials;
+      if (get("degraded") == "1") {
+        ++degraded;
+        const std::string label =
+            get("cell") == "baseline"
+                ? get("attack") + "/baseline"
+                : get("attack") + "/" + get("defense") + "/spc=" + get("spc");
+        degraded_lines.push_back(label + ": " + get("error") +
+                                 " (attempts=" + std::to_string(attempts) +
+                                 ")");
+      }
+    }
+    std::printf("%s: run journal, %zu entries, %lld retries, %zu degraded\n",
+                path.c_str(), journal.size(),
+                static_cast<long long>(retries), degraded);
+    for (const auto& line : degraded_lines) {
+      std::printf("  degraded %s\n", line.c_str());
+    }
+    std::printf("OK\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bdctl verify: CORRUPT: %s\n", e.what());
+    return 1;
+  }
+}
+
 /// `bdctl verify <checkpoint>`: full integrity check + state-dict summary.
+/// Journals (first byte '{') are dispatched to the journal summary above.
 int cmd_verify(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe && probe.peek() == '{') return cmd_verify_journal(path);
+  }
   try {
     const nn::CheckpointInfo info = nn::inspect_checkpoint(path);
     std::printf("%s: format v%u, %s, %zu entries, %lld elements\n",
@@ -206,9 +269,22 @@ int cmd_profile(const Args& args) {
 
   const auto bd_model =
       eval::prepare_backdoored_model(dataset, arch, attack, scale, seed);
-  const auto trial = eval::run_defense_trial(
-      bd_model, defense_name, args.get_int("spc", 10), scale,
-      seed ^ 0xBDC71EULL);
+
+  // Profile the trial the way the bench harness runs it: supervised, so
+  // the watchdog/retry machinery shows up in the stats section below.
+  auto& supervisor = robust::Supervisor::instance();
+  eval::TrialResult trial;
+  const robust::RunReport report = supervisor.run(
+      "profile|" + attack + "|" + defense_name, [&] {
+        trial = eval::run_defense_trial(bd_model, defense_name,
+                                        args.get_int("spc", 10), scale,
+                                        seed ^ 0xBDC71EULL);
+      });
+  if (!report.ok()) {
+    std::fprintf(stderr, "bdctl profile: trial failed: %s\n",
+                 report.failure.c_str());
+    return 1;
+  }
 
   std::printf("profiled %s + %s on %s/%s: ACC=%.2f ASR=%.2f RA=%.2f "
               "pruned=%lld (%.1fs)\n",
@@ -217,6 +293,15 @@ int cmd_profile(const Args& args) {
               trial.metrics.ra,
               static_cast<long long>(trial.info.pruned_units),
               trial.info.seconds);
+  const robust::SupervisorStats stats = supervisor.stats();
+  std::printf("\n-- supervisor --\n"
+              "runs=%lld retries=%lld timeouts=%lld quarantines=%lld "
+              "degraded_attempts=%lld\n",
+              static_cast<long long>(stats.runs),
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.timeouts),
+              static_cast<long long>(stats.quarantines),
+              static_cast<long long>(stats.failures));
   std::printf("\n-- span tree --\n%s", obs::render_span_tree().c_str());
   std::printf("\n-- metrics --\n%s", obs::registry().summary(topk).c_str());
   obs::flush_env_exports();

@@ -8,6 +8,7 @@
 #include "eval/metrics.h"
 #include "eval/trainer.h"
 #include "obs/obs.h"
+#include "robust/cancel.h"
 #include "robust/fault_injector.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -113,6 +114,7 @@ defense::DefenseResult GradPruneDefense::apply(
     std::int64_t rounds_without_improvement = 0;
 
     for (std::int64_t round = 0; round < config_.max_prune_rounds; ++round) {
+      robust::poll_cancellation("gradprune.round");
       BD_OBS_SPAN_ARG("gradprune.round", round);
       const auto scores =
           score_filters(model, context.backdoor_train, config_.batch_size);

@@ -8,6 +8,7 @@
 #include "nn/layers.h"
 #include "obs/obs.h"
 #include "optim/optim.h"
+#include "robust/cancel.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -58,6 +59,7 @@ DefenseResult AnpDefense::apply(models::Classifier& model,
   };
 
   for (std::int64_t it = 0; it < config_.iterations; ++it) {
+    robust::poll_cancellation("anp.mask_iter");
     BD_OBS_SPAN_ARG("anp.mask_iter", it);
     if (!loader.next(batch)) {
       loader.reset();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "robust/cancel.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -72,6 +73,7 @@ DefenseResult ClpDefense::apply(models::Classifier& model,
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     auto* conv = dynamic_cast<nn::Conv2d*>(ordered[i]);
     if (conv == nullptr) continue;
+    robust::poll_cancellation("clp.conv");
 
     nn::BatchNorm2d* bn = nullptr;
     for (std::size_t j = i + 1; j < ordered.size(); ++j) {

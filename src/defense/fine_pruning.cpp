@@ -8,6 +8,7 @@
 #include "eval/trainer.h"
 #include "nn/layers.h"
 #include "obs/obs.h"
+#include "robust/cancel.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -93,6 +94,7 @@ DefenseResult FinePruningDefense::apply(models::Classifier& model,
 
     auto pre_prune_state = model.state_dict();
     for (std::size_t k = 0; k < max_prune; ++k) {
+      robust::poll_cancellation("fine_pruning.prune");
       pre_prune_state = model.state_dict();
       conv->prune_filter(static_cast<std::int64_t>(order[k]));
       const double acc = eval::accuracy(model, context.clean_val);

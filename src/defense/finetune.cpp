@@ -2,6 +2,7 @@
 
 #include "eval/trainer.h"
 #include "obs/obs.h"
+#include "robust/cancel.h"
 #include "util/stopwatch.h"
 
 namespace bd::defense {
@@ -9,6 +10,7 @@ namespace bd::defense {
 DefenseResult FinetuneDefense::apply(models::Classifier& model,
                                      const DefenseContext& context) {
   BD_OBS_SPAN("defense.finetune");
+  robust::poll_cancellation("finetune.start");
   Stopwatch watch;
   eval::TrainConfig cfg;
   cfg.epochs = config_.max_epochs;

@@ -6,6 +6,7 @@
 #include "eval/metrics.h"
 #include "obs/obs.h"
 #include "optim/optim.h"
+#include "robust/cancel.h"
 #include "util/stopwatch.h"
 
 namespace bd::defense {
@@ -31,6 +32,7 @@ DefenseResult FtSamDefense::apply(models::Classifier& model,
     data::DataLoader loader(context.clean_train, config_.batch_size, rng);
     data::Batch batch;
     while (loader.next(batch)) {
+      robust::poll_cancellation("ftsam.batch");
       // First SAM step: gradient at w, ascend to w + e(w).
       sam.zero_grad();
       ag::Var loss1 = ag::cross_entropy(

@@ -4,6 +4,7 @@
 #include "eval/trainer.h"
 #include "obs/obs.h"
 #include "optim/optim.h"
+#include "robust/cancel.h"
 #include "util/stopwatch.h"
 
 namespace bd::defense {
@@ -52,6 +53,7 @@ DefenseResult NadDefense::apply(models::Classifier& model,
     data::DataLoader loader(context.clean_train, config_.batch_size, rng);
     data::Batch batch;
     while (loader.next(batch)) {
+      robust::poll_cancellation("nad.distill_batch");
       // Teacher attention, computed without building a graph.
       std::vector<Tensor> teacher_attn;
       {

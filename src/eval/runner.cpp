@@ -11,6 +11,8 @@
 #include "defense/ftsam.h"
 #include "defense/nad.h"
 #include "obs/obs.h"
+#include "robust/fault_injector.h"
+#include "robust/supervisor.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -167,6 +169,7 @@ TrialResult run_defense_trial(const BackdooredModel& bd,
                               std::uint64_t trial_seed) {
   BD_OBS_SPAN_ARG("runner.trial", spc);
   BD_OBS_COUNT("runner.trials", 1);
+  robust::FaultInjector::instance().fire_oom("runner.trial");
   Rng rng(trial_seed);
   auto model = bd.instantiate(rng);
 
@@ -211,10 +214,35 @@ SettingResult run_setting(const BackdooredModel& bd,
   out.attack = bd.attack;
   out.defense = defense_name;
   out.spc = spc;
+
+  // Pre-draw every trial seed before any work runs: a supervised retry of
+  // trial t re-uses trial_seeds[t] verbatim, so retries neither advance the
+  // seeder nor shift the seeds of later trials.
   Rng seeder(seed);
+  std::vector<std::uint64_t> trial_seeds;
+  trial_seeds.reserve(static_cast<std::size_t>(scale.trials));
   for (int t = 0; t < scale.trials; ++t) {
-    const TrialResult trial =
-        run_defense_trial(bd, defense_name, spc, scale, seeder.next_u64());
+    trial_seeds.push_back(seeder.next_u64());
+  }
+
+  const std::string supervise_key =
+      bd.attack + "|" + defense_name + "|" + std::to_string(spc);
+  auto& supervisor = robust::Supervisor::instance();
+  for (int t = 0; t < scale.trials; ++t) {
+    TrialResult trial;
+    const robust::RunReport report = supervisor.run(supervise_key, [&] {
+      trial = run_defense_trial(bd, defense_name, spc, scale,
+                                trial_seeds[static_cast<std::size_t>(t)]);
+    });
+    out.attempts += report.attempts;
+    if (!report.ok()) {
+      out.degraded = true;
+      out.failure = report.failure;
+      BD_LOG(Warn) << bd.attack << " spc=" << spc << " " << defense_name
+                   << " trial " << (t + 1) << "/" << scale.trials
+                   << " degraded: " << report.failure;
+      break;
+    }
     out.acc.push_back(trial.metrics.acc);
     out.asr.push_back(trial.metrics.asr);
     out.ra.push_back(trial.metrics.ra);

@@ -94,9 +94,19 @@ struct SettingResult {
   std::vector<double> seconds;       // defense wall-clock per trial
   std::vector<std::int64_t> pruned;  // units pruned per trial
   std::vector<std::int64_t> recoveries;  // divergence recoveries per trial
+  /// Supervisor verdict: true when the setting could not complete (retry
+  /// budget exhausted or quarantined) and the metric vectors are partial.
+  bool degraded = false;
+  /// Failure reason for the degraded case ("" when healthy).
+  std::string failure;
+  /// Total supervised attempts across trials (== trials when clean).
+  std::int64_t attempts = 0;
 };
 
-/// Runs `scale.trials` trials of one defense at one SPC setting.
+/// Runs `scale.trials` trials of one defense at one SPC setting. Every
+/// trial runs under Supervisor::instance() with a seed pre-drawn from
+/// `seed`, so a retried trial re-derives identical randomness and never
+/// shifts the seeds of later trials.
 SettingResult run_setting(const BackdooredModel& bd,
                           const std::string& defense_name, std::int64_t spc,
                           const ExperimentScale& scale, std::uint64_t seed);

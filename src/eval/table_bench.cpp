@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "core/registry.h"
 #include "obs/obs.h"
 #include "robust/fault_injector.h"
 #include "robust/journal.h"
+#include "robust/supervisor.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -102,34 +104,58 @@ std::string scale_signature(const TableSpec& spec,
   return sig;
 }
 
+/// Baseline cell as journaled: metrics plus the supervisor's verdict on
+/// the attack preparation that produced them.
+struct BaselineRecord {
+  BackdoorMetrics metrics;
+  bool degraded = false;
+  std::string error;
+  std::int64_t attempts = 0;
+};
+
 robust::JournalFields encode_baseline(const std::string& attack,
-                                      const BackdoorMetrics& m) {
-  return {{"cell", "baseline"},
-          {"attack", attack},
-          {"acc", robust::exact_double(m.acc)},
-          {"asr", robust::exact_double(m.asr)},
-          {"ra", robust::exact_double(m.ra)}};
+                                      const BaselineRecord& r) {
+  robust::JournalFields f{{"cell", "baseline"},
+                          {"attack", attack},
+                          {"acc", robust::exact_double(r.metrics.acc)},
+                          {"asr", robust::exact_double(r.metrics.asr)},
+                          {"ra", robust::exact_double(r.metrics.ra)},
+                          {"attempts", std::to_string(r.attempts)}};
+  if (r.degraded) {
+    f["degraded"] = "1";
+    f["error"] = r.error;
+  }
+  return f;
 }
 
-BackdoorMetrics decode_baseline(const robust::JournalFields& f) {
-  BackdoorMetrics m;
-  m.acc = std::strtod(field(f, "acc").c_str(), nullptr);
-  m.asr = std::strtod(field(f, "asr").c_str(), nullptr);
-  m.ra = std::strtod(field(f, "ra").c_str(), nullptr);
-  return m;
+BaselineRecord decode_baseline(const robust::JournalFields& f) {
+  BaselineRecord r;
+  r.metrics.acc = std::strtod(field(f, "acc").c_str(), nullptr);
+  r.metrics.asr = std::strtod(field(f, "asr").c_str(), nullptr);
+  r.metrics.ra = std::strtod(field(f, "ra").c_str(), nullptr);
+  r.attempts = std::strtoll(field(f, "attempts").c_str(), nullptr, 10);
+  r.degraded = field(f, "degraded") == "1";
+  r.error = field(f, "error");
+  return r;
 }
 
 robust::JournalFields encode_setting(const SettingResult& s) {
-  return {{"cell", "setting"},
-          {"attack", s.attack},
-          {"defense", s.defense},
-          {"spc", std::to_string(s.spc)},
-          {"acc", join_doubles(s.acc)},
-          {"asr", join_doubles(s.asr)},
-          {"ra", join_doubles(s.ra)},
-          {"seconds", join_doubles(s.seconds)},
-          {"pruned", join_ints(s.pruned)},
-          {"recoveries", join_ints(s.recoveries)}};
+  robust::JournalFields f{{"cell", "setting"},
+                          {"attack", s.attack},
+                          {"defense", s.defense},
+                          {"spc", std::to_string(s.spc)},
+                          {"acc", join_doubles(s.acc)},
+                          {"asr", join_doubles(s.asr)},
+                          {"ra", join_doubles(s.ra)},
+                          {"seconds", join_doubles(s.seconds)},
+                          {"pruned", join_ints(s.pruned)},
+                          {"recoveries", join_ints(s.recoveries)},
+                          {"attempts", std::to_string(s.attempts)}};
+  if (s.degraded) {
+    f["degraded"] = "1";
+    f["error"] = s.failure;
+  }
+  return f;
 }
 
 SettingResult decode_setting(const robust::JournalFields& f) {
@@ -143,6 +169,9 @@ SettingResult decode_setting(const robust::JournalFields& f) {
   s.seconds = split_doubles(field(f, "seconds"));
   s.pruned = split_ints(field(f, "pruned"));
   s.recoveries = split_ints(field(f, "recoveries"));
+  s.attempts = std::strtoll(field(f, "attempts").c_str(), nullptr, 10);
+  s.degraded = field(f, "degraded") == "1";
+  s.failure = field(f, "error");
   return s;
 }
 
@@ -174,6 +203,21 @@ TableRun run_table(const TableSpec& spec) {
   }
   const std::string sig = scale_signature(spec, scale);
   auto& faults = robust::FaultInjector::instance();
+  auto& supervisor = robust::Supervisor::instance();
+
+  // Journal appends are supervised too (retries ride out transient I/O
+  // failures), but a permanently unwritable journal is fatal: continuing
+  // would silently break the resume contract.
+  const auto record_with_retry = [&](const std::string& key,
+                                     const robust::JournalFields& fields) {
+    const robust::RunReport report = supervisor.run(
+        "journal|" + journal.path(), [&] { journal.record(key, fields); });
+    if (!report.ok()) {
+      throw std::runtime_error("journal '" + journal.path() +
+                               "': append failed permanently: " +
+                               report.failure);
+    }
+  };
 
   std::printf("== %s ==\n", spec.title.c_str());
   std::printf("dataset=%s arch=%s mode=%s trials=%d spc={", spec.dataset.c_str(),
@@ -186,6 +230,7 @@ TableRun run_table(const TableSpec& spec) {
 
   TableRun run;
   TextTable table({"Attack", "SPC", "Defense", "ACC", "ASR", "RA"});
+  std::vector<std::string> degraded_lines;  // summary printed after the table
 
   for (const auto& attack : spec.attacks) {
     Rng seeder(seed ^ std::hash<std::string>{}(attack + spec.arch));
@@ -220,27 +265,47 @@ TableRun run_table(const TableSpec& spec) {
     // The expensive attack run is needed only when some cell still has to
     // execute; a fully journaled attack resumes without retraining.
     std::optional<BackdooredModel> bd;
-    BackdoorMetrics baseline;
+    BaselineRecord baseline;
     if (all_cached) {
       baseline = decode_baseline(*journal.find(base_key));
       BD_LOG(Info) << attack << ": all cells journaled, skipping attack "
                       "training";
     } else {
       BD_OBS_SPAN("bench.attack_prepare");
-      bd.emplace(prepare_backdoored_model(spec.dataset, spec.arch, attack,
-                                          scale, model_seed));
-      baseline = bd->baseline;
+      const robust::RunReport prep =
+          supervisor.run("prepare|" + attack + "|" + spec.arch, [&] {
+            bd.reset();
+            bd.emplace(prepare_backdoored_model(spec.dataset, spec.arch,
+                                                attack, scale, model_seed));
+          });
+      baseline.attempts = prep.attempts;
+      if (prep.ok()) {
+        baseline.metrics = bd->baseline;
+      } else {
+        bd.reset();
+        baseline.degraded = true;
+        baseline.error = "attack preparation failed: " + prep.failure;
+        BD_LOG(Warn) << attack << ": " << baseline.error
+                     << "; every cell of this attack degrades";
+      }
       if (journal.enabled() && !(resume && journal.has(base_key))) {
-        journal.record(base_key, encode_baseline(attack, baseline));
+        record_with_retry(base_key, encode_baseline(attack, baseline));
       }
     }
-    run.baselines.emplace_back(attack, baseline);
-
-    char acc_buf[32], asr_buf[32], ra_buf[32];
-    std::snprintf(acc_buf, sizeof(acc_buf), "%.2f", baseline.acc);
-    std::snprintf(asr_buf, sizeof(asr_buf), "%.2f", baseline.asr);
-    std::snprintf(ra_buf, sizeof(ra_buf), "%.2f", baseline.ra);
-    table.add_row({attack, "-", "Baseline", acc_buf, asr_buf, ra_buf});
+    run.baselines.emplace_back(attack, baseline.metrics);
+    if (baseline.degraded) {
+      degraded_lines.push_back(attack + "/baseline: " + baseline.error +
+                               " (attempts=" +
+                               std::to_string(baseline.attempts) + ")");
+      table.add_row(
+          {attack, "-", "Baseline", "degraded", "degraded", "degraded"});
+    } else {
+      char acc_buf[32], asr_buf[32], ra_buf[32];
+      std::snprintf(acc_buf, sizeof(acc_buf), "%.2f", baseline.metrics.acc);
+      std::snprintf(asr_buf, sizeof(asr_buf), "%.2f", baseline.metrics.asr);
+      std::snprintf(ra_buf, sizeof(ra_buf), "%.2f", baseline.metrics.ra);
+      table.add_row({attack, "-", "Baseline", acc_buf, asr_buf, ra_buf});
+    }
 
     for (const auto& cell : cells) {
       SettingResult setting;
@@ -250,6 +315,17 @@ TableRun run_table(const TableSpec& spec) {
         setting = decode_setting(*cached);
         ++run.resumed_cells;
         BD_OBS_COUNT("bench.cells_resumed", 1);
+      } else if (!bd.has_value()) {
+        // The attack preparation degraded permanently: every cell that
+        // depends on it inherits the failure instead of running.
+        setting.attack = attack;
+        setting.defense = *cell.defense;
+        setting.spc = cell.spc;
+        setting.degraded = true;
+        setting.failure = baseline.error;
+        if (journal.enabled()) {
+          record_with_retry(cell.key, encode_setting(setting));
+        }
       } else {
         BD_OBS_SPAN_ARG("bench.cell", cell.spc);
         BD_OBS_COUNT("bench.cells_run", 1);
@@ -258,23 +334,40 @@ TableRun run_table(const TableSpec& spec) {
         BD_OBS_OBSERVE("bench.cell_seconds", cell_watch.seconds(),
                        ::bd::obs::seconds_buckets());
         if (journal.enabled()) {
-          journal.record(cell.key, encode_setting(setting));
+          record_with_retry(cell.key, encode_setting(setting));
         }
         // The journal entry above is flushed; a kill here loses nothing.
         faults.fire_crash("bench cell " + setting.attack + "/" +
                           setting.defense + "/spc=" +
                           std::to_string(setting.spc));
       }
+      if (setting.degraded) {
+        degraded_lines.push_back(
+            attack + "/" + *cell.defense + "/spc=" +
+            std::to_string(cell.spc) + ": " + setting.failure +
+            " (attempts=" + std::to_string(setting.attempts) + ")");
+      }
       table.add_row({attack, std::to_string(cell.spc),
                      core::defense_display_name(*cell.defense),
-                     mean_std_string(setting.acc),
-                     mean_std_string(setting.asr),
-                     mean_std_string(setting.ra)});
+                     setting.degraded ? "degraded"
+                                      : mean_std_string(setting.acc),
+                     setting.degraded ? "degraded"
+                                      : mean_std_string(setting.asr),
+                     setting.degraded ? "degraded"
+                                      : mean_std_string(setting.ra)});
       run.settings.push_back(std::move(setting));
     }
   }
 
+  run.degraded_cells = degraded_lines.size();
   std::printf("%s\n", table.to_string().c_str());
+  if (!degraded_lines.empty()) {
+    std::printf("degraded cells: %zu\n", degraded_lines.size());
+    for (const auto& line : degraded_lines) {
+      std::printf("  %s\n", line.c_str());
+    }
+    std::printf("\n");
+  }
 
   if (spec.scatter) {
     // Figure series: one (ASR, ACC) and (ASR, RA) point per trial.

@@ -13,6 +13,13 @@
 // full-precision metrics), and produces tables byte-identical to an
 // uninterrupted run. A backdoored model is only retrained when at least
 // one of its cells is missing.
+//
+// Supervised execution: attack preparations, defense trials and journal
+// appends run under robust::Supervisor (BDPROTO_DEADLINE / BDPROTO_STALL /
+// BDPROTO_RETRIES). A cell whose retry budget is exhausted — or whose
+// config is quarantined — is printed as `degraded` in its metric columns
+// with the failure reason summarized after the table, while every other
+// cell completes; degraded cells journal and resume like healthy ones.
 #pragma once
 
 #include <optional>
@@ -43,7 +50,8 @@ struct TableSpec {
 struct TableRun {
   std::vector<SettingResult> settings;  // per (attack, spc, defense)
   std::vector<std::pair<std::string, BackdoorMetrics>> baselines;
-  std::size_t resumed_cells = 0;  // cells restored from the journal
+  std::size_t resumed_cells = 0;   // cells restored from the journal
+  std::size_t degraded_cells = 0;  // cells (incl. baselines) that failed
 };
 
 /// Runs the sweep and prints the table (and scatter series) to stdout.

@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "obs/obs.h"
 #include "optim/optim.h"
+#include "robust/cancel.h"
 #include "robust/fault_injector.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
@@ -78,6 +79,7 @@ TrainResult train_classifier(models::Classifier& model,
     std::int64_t step = 0;
     bool rolled_back = false;
     while (loader.next(batch)) {
+      robust::poll_cancellation("train.batch");
       BD_OBS_SPAN_ARG("train.batch", step);
       BD_OBS_COUNT("train.batches", 1);
       BD_OBS_COUNT("train.samples", batch.size());
@@ -161,6 +163,7 @@ EarlyStopResult finetune_early_stopping(models::Classifier& model,
     std::int64_t step = 0;
     bool rolled_back = false;
     while (loader.next(batch)) {
+      robust::poll_cancellation("finetune.batch");
       BD_OBS_SPAN_ARG("finetune.batch", step);
       BD_OBS_COUNT("finetune.batches", 1);
       sgd.zero_grad();

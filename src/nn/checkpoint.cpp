@@ -8,6 +8,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "robust/crc32.h"
 #include "robust/fault_injector.h"
 #include "tensor/serialize.h"
@@ -52,6 +57,34 @@ std::uint32_t read_u32(const std::string& buf, std::size_t offset) {
 
 [[noreturn]] void fail(const std::string& path, const std::string& detail) {
   throw std::runtime_error("load_state: '" + path + "': " + detail);
+}
+
+/// Flushes `path` (a file, or a directory when `directory` is true) to
+/// stable storage. POSIX-only; a no-op elsewhere. fsync failures on the
+/// data file are fatal — returning success for a checkpoint the kernel may
+/// still lose would defeat the atomic-commit protocol.
+void fsync_path(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  int flags = O_RDONLY;
+#if defined(O_DIRECTORY)
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (directory) return;  // some filesystems refuse opening directories
+    throw std::runtime_error("save_checkpoint: cannot open '" + path +
+                             "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) {
+    throw std::runtime_error("save_checkpoint: fsync failed on '" + path +
+                             "'");
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
 }
 
 struct ParsedCheckpoint {
@@ -184,8 +217,9 @@ void save_checkpoint(const Module& module, const std::string& path) {
   const std::string body = payload.str();
   const std::uint32_t crc = robust::crc32(body.data(), body.size());
 
-  // Durable write: <path>.tmp + flush + atomic rename, so `path` either
-  // keeps its previous content or holds the complete new checkpoint.
+  // Durable write: <path>.tmp + flush + fsync + atomic rename + directory
+  // fsync, so `path` either keeps its previous content or holds the
+  // complete new checkpoint even across a power loss mid-commit.
   const std::string tmp = path + ".tmp";
   try {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -193,6 +227,16 @@ void save_checkpoint(const Module& module, const std::string& path) {
       throw std::runtime_error("save_checkpoint: cannot open '" + tmp + "'");
     }
     out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
+    if (faults.fire(robust::FaultKind::kTornWrite)) {
+      // Simulated kill mid-write: half the payload reaches the tmp file,
+      // which stays on disk as real crash debris would. The target path is
+      // untouched — the commit rename below is never reached.
+      out.write(body.data(), static_cast<std::streamsize>(body.size() / 2));
+      out.flush();
+      out.close();
+      throw robust::SimulatedCrash("torn write of '" + tmp +
+                                   "' (BDPROTO_FAULTS torn_write@n)");
+    }
     out.write(body.data(), static_cast<std::streamsize>(body.size()));
     out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     out.flush();
@@ -201,7 +245,10 @@ void save_checkpoint(const Module& module, const std::string& path) {
                                "'");
     }
     out.close();
+    fsync_path(tmp, false);
     faults.fire_io("save_checkpoint commit '" + path + "'");
+  } catch (const robust::SimulatedCrash&) {
+    throw;  // crash semantics: leave the torn tmp file in place
   } catch (...) {
     std::remove(tmp.c_str());
     throw;
@@ -214,6 +261,10 @@ void save_checkpoint(const Module& module, const std::string& path) {
     throw std::runtime_error("save_checkpoint: cannot rename '" + tmp +
                              "' to '" + path + "': " + ec.message());
   }
+  // Persist the rename itself: fsync the containing directory so the new
+  // directory entry survives a crash after we return.
+  const auto parent = std::filesystem::path(path).parent_path();
+  fsync_path(parent.empty() ? "." : parent.string(), true);
 }
 
 std::map<std::string, Tensor> load_state(const std::string& path) {

@@ -1,0 +1,152 @@
+// Cooperative cancellation for supervised trial execution.
+//
+// A CancelSource owns the shared cancellation state; CancelTokens are cheap
+// handles onto it. Work never gets killed mid-mutation: long-running loops
+// call poll_cancellation() at their batch/round boundaries (the same places
+// that open the obs epoch/round spans), which stamps a heartbeat for the
+// watchdog and throws Cancelled once the source has been cancelled — so a
+// cancelled loop always unwinds from a consistent point with an integer
+// number of optimizer steps applied.
+//
+// The current token is installed thread-locally by a CancelScope (the
+// Supervisor does this around every attempt), which keeps the token out of
+// every loop signature: trainer epochs, defense rounds and Grad-Prune
+// iterations all share one poll_cancellation() call site per boundary.
+// Code running outside any scope polls against a null token, which never
+// cancels and costs a thread-local read plus one relaxed atomic store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bd::robust {
+
+/// Thrown by poll_cancellation() at the first boundary after the owning
+/// CancelSource was cancelled. `reason()` is the source's cancellation
+/// reason (e.g. the watchdog's deadline message); what() adds the boundary
+/// at which the work actually stopped.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled(std::string reason, const std::string& where)
+      : std::runtime_error(reason + " (observed at " + where + ")"),
+        reason_(std::move(reason)) {}
+
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+namespace detail {
+
+/// Nanoseconds on the steady clock (shared epoch with heartbeats).
+std::uint64_t cancel_now_ns();
+
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::uint64_t> heartbeat_ns{0};  // steady-clock ns of last poll
+  std::mutex mutex;
+  std::string reason;  // set once by the first cancel()
+};
+
+}  // namespace detail
+
+/// Cheap copyable handle onto a CancelSource's state. A default-constructed
+/// token is null: never cancelled, heartbeats are no-ops.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// Cancellation reason ("" while not cancelled or for a null token).
+  std::string reason() const {
+    if (state_ == nullptr) return {};
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->reason;
+  }
+
+  /// Stamps "the work is alive" for the watchdog's stall detector.
+  void heartbeat() const {
+    if (state_ != nullptr) {
+      state_->heartbeat_ns.store(detail::cancel_now_ns(),
+                                 std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {
+    state_->heartbeat_ns.store(detail::cancel_now_ns(),
+                               std::memory_order_relaxed);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// Requests cooperative cancellation; the first reason wins.
+  void cancel(const std::string& reason) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->reason.empty()) state_->reason = reason;
+    }
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// Seconds since the most recent heartbeat (or since construction).
+  double heartbeat_age_seconds() const {
+    const std::uint64_t last =
+        state_->heartbeat_ns.load(std::memory_order_relaxed);
+    return static_cast<double>(detail::cancel_now_ns() - last) * 1e-9;
+  }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// RAII installation of the calling thread's current token (nesting
+/// restores the previous one). Owned by Supervisor attempts; tests install
+/// scopes directly to drive loops without a supervisor.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken previous_;
+};
+
+/// The calling thread's current token (null outside any CancelScope).
+CancelToken current_cancel_token();
+
+/// Batch/round-boundary check: stamps the heartbeat, runs any armed
+/// `hang@n` fault (a simulated stall that sits here, heartbeat-silent,
+/// until the watchdog cancels), and throws Cancelled when the current
+/// token has been cancelled. `where` must describe the boundary (e.g.
+/// "train.batch") and appears in the Cancelled message.
+void poll_cancellation(const char* where);
+
+}  // namespace bd::robust

@@ -1,6 +1,8 @@
 #include "robust/fault_injector.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "util/env.h"
 #include "util/logging.h"
@@ -16,6 +18,10 @@ FaultKind parse_kind(const std::string& name) {
   if (name == "nan") return FaultKind::kNanLoss;
   if (name == "nan_grad") return FaultKind::kNanGrad;
   if (name == "crash") return FaultKind::kCrash;
+  if (name == "hang") return FaultKind::kHang;
+  if (name == "slow_io") return FaultKind::kSlowIo;
+  if (name == "torn_write") return FaultKind::kTornWrite;
+  if (name == "oom_sim") return FaultKind::kOom;
   throw std::invalid_argument("BDPROTO_FAULTS: unknown fault kind '" + name +
                               "'");
 }
@@ -94,6 +100,20 @@ void FaultInjector::fire_crash(const std::string& where) {
     BD_LOG(Warn) << "fault injector: simulated crash at " << where;
     throw SimulatedCrash("simulated crash at " + where +
                          " (BDPROTO_FAULTS crash@n)");
+  }
+}
+
+void FaultInjector::fire_slow_io(const std::string& what) {
+  if (fire(FaultKind::kSlowIo)) {
+    BD_LOG(Warn) << "fault injector: slowing I/O at " << what;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+void FaultInjector::fire_oom(const std::string& what) {
+  if (fire(FaultKind::kOom)) {
+    BD_LOG(Warn) << "fault injector: simulated out-of-memory at " << what;
+    throw SimulatedOom();
   }
 }
 

@@ -4,12 +4,23 @@
 // configure()) of comma-separated `kind@n` terms, where `n` is the 1-based
 // occurrence at which the fault fires:
 //
-//   io_fail@3     third checkpoint I/O operation throws std::runtime_error
+//   io_fail@3     third checkpoint/journal I/O operation throws
+//                 std::runtime_error
 //   nan@120       training batch loss #120 is replaced with NaN
 //   nan_grad@2    gradient-scoring pass #2 (Grad-Prune) produces NaN scores
 //   crash@5       a SimulatedCrash is thrown after the 5th completed bench
 //                 cell (simulates a kill between cells; the run journal is
 //                 already durable at that point)
+//   hang@4        cancellation poll #4 stalls heartbeat-silent until the
+//                 supervisor's watchdog cancels it (exercises stall
+//                 detection + cooperative cancellation)
+//   slow_io@2     second journal append sleeps ~25ms before proceeding
+//                 (latency without failure; must not change any output)
+//   torn_write@1  first v2 checkpoint write stops halfway through the tmp
+//                 file and throws SimulatedCrash, leaving the torn tmp on
+//                 disk (proves the atomic-rename commit protocol)
+//   oom_sim@3     third defense trial throws SimulatedOom (a bad_alloc the
+//                 supervisor treats as retryable)
 //
 // Each site calls the matching fire_*() helper; the injector counts calls
 // per kind and fires at the armed indices. All counters are process-global
@@ -18,6 +29,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <new>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -34,7 +46,26 @@ class SimulatedCrash : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-enum class FaultKind { kIoFail = 0, kNanLoss, kNanGrad, kCrash };
+/// Thrown by an armed `oom_sim@n` fault. Derives from std::bad_alloc so
+/// recovery code exercises the same catch paths a real allocation failure
+/// would, but is distinguishable in test assertions.
+class SimulatedOom : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "simulated out-of-memory (BDPROTO_FAULTS oom_sim@n)";
+  }
+};
+
+enum class FaultKind {
+  kIoFail = 0,
+  kNanLoss,
+  kNanGrad,
+  kCrash,
+  kHang,
+  kSlowIo,
+  kTornWrite,
+  kOom,
+};
 
 class FaultInjector {
  public:
@@ -66,12 +97,21 @@ class FaultInjector {
   /// fire(kCrash), throwing SimulatedCrash mentioning `where` if armed.
   void fire_crash(const std::string& where);
 
+  /// fire(kSlowIo): sleeps ~25ms mentioning `what` if armed. Latency only —
+  /// never fails, never changes output.
+  void fire_slow_io(const std::string& what);
+
+  /// fire(kOom), throwing SimulatedOom if armed (`what` is logged).
+  void fire_oom(const std::string& what);
+
  private:
   FaultInjector();
 
+  static constexpr int kKinds = 8;
+
   mutable std::mutex mutex_;
-  std::set<std::int64_t> triggers_[4];  // armed occurrence indices per kind
-  std::int64_t counts_[4] = {0, 0, 0, 0};
+  std::set<std::int64_t> triggers_[kKinds];  // armed occurrences per kind
+  std::int64_t counts_[kKinds] = {};
 };
 
 }  // namespace bd::robust

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "robust/fault_injector.h"
 #include "util/logging.h"
 
 namespace bd::robust {
@@ -145,6 +146,12 @@ const JournalFields* RunJournal::find(const std::string& key) const {
 
 void RunJournal::record(const std::string& key, const JournalFields& fields) {
   if (!enabled()) return;
+
+  // Fault sites fire BEFORE any byte is written: a failed append that the
+  // supervisor retries must re-append a whole line, never extend a torn one.
+  auto& faults = FaultInjector::instance();
+  faults.fire_slow_io("journal append '" + path_ + "'");
+  faults.fire_io("journal append '" + path_ + "'");
 
   std::string line = "{\"key\":\"";
   append_escaped(line, key);

@@ -37,6 +37,11 @@ class RunJournal {
   /// Entry for `key`, or nullptr when absent.
   const JournalFields* find(const std::string& key) const;
 
+  /// All loaded entries keyed by config hash (inspection, `bdctl verify`).
+  const std::map<std::string, JournalFields>& entries() const {
+    return entries_;
+  }
+
   /// Appends {key, fields} and flushes to disk before returning. Repeated
   /// keys keep the latest fields in memory. No-op when disabled.
   void record(const std::string& key, const JournalFields& fields);

@@ -21,6 +21,15 @@ std::optional<std::int64_t> env_int(const std::string& name) {
   return static_cast<std::int64_t>(v);
 }
 
+std::optional<double> env_double(const std::string& name) {
+  const auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str()) return std::nullopt;
+  return v;
+}
+
 RunMode run_mode() {
   static const RunMode mode = [] {
     const auto s = env_string("BDPROTO_MODE");

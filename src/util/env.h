@@ -10,6 +10,14 @@
 //                               engine (default: hardware_concurrency;
 //                               1 forces the legacy serial path; clamped
 //                               to >= 1).
+//
+// Supervised execution (see robust/supervisor.h):
+//   BDPROTO_DEADLINE=<secs>   - per-attempt wall-clock budget (0/unset: off)
+//   BDPROTO_STALL=<secs>      - heartbeat staleness budget (default: the
+//                               deadline)
+//   BDPROTO_RETRIES=<n>       - retries after a failed attempt (default 2)
+//   BDPROTO_FAULTS=<spec>     - deterministic fault injection, e.g.
+//                               "hang@2,io_fail@3" (robust/fault_injector.h)
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,7 @@ bool full_mode();
 /// Environment override helpers.
 std::optional<std::string> env_string(const std::string& name);
 std::optional<std::int64_t> env_int(const std::string& name);
+std::optional<double> env_double(const std::string& name);
 
 /// Trials per experiment setting: BDPROTO_TRIALS if set, otherwise
 /// `full_default` in full mode and `quick_default` in quick mode.

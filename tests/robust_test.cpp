@@ -4,12 +4,14 @@
 // tables), and TrainGuard divergence recovery in the training loops.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "attack/trigger.h"
 #include "core/grad_prune.h"
@@ -20,9 +22,11 @@
 #include "models/factory.h"
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
+#include "robust/cancel.h"
 #include "robust/crc32.h"
 #include "robust/fault_injector.h"
 #include "robust/journal.h"
+#include "robust/supervisor.h"
 #include "robust/train_guard.h"
 #include "tensor/serialize.h"
 
@@ -660,6 +664,421 @@ TEST_F(TableResume, FullyJournaledRunSkipsAttackTraining) {
   EXPECT_EQ(second.resumed_cells, 1u);
   EXPECT_EQ(second_out, first_out);
   EXPECT_EQ(second.baselines[0].second.asr, first.baselines[0].second.asr);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation primitives
+// ---------------------------------------------------------------------------
+
+TEST(CancelToken, NullTokenNeverCancelsAndHeartbeatIsNoop) {
+  robust::CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  token.heartbeat();  // must not crash
+  // Polling outside any scope is a cheap no-op too.
+  robust::poll_cancellation("test.no_scope");
+}
+
+TEST(CancelSource, FirstCancelReasonWins) {
+  robust::CancelSource source;
+  const robust::CancelToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+
+  source.cancel("first");
+  source.cancel("second");
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "first");
+}
+
+TEST(CancelSource, HeartbeatAgeTracksPolls) {
+  robust::CancelSource source;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(source.heartbeat_age_seconds(), 0.02);
+  source.token().heartbeat();
+  EXPECT_LT(source.heartbeat_age_seconds(), 0.02);
+}
+
+TEST(CancelScope, InstallsAndRestoresThreadToken) {
+  EXPECT_FALSE(robust::current_cancel_token().valid());
+  robust::CancelSource outer;
+  {
+    robust::CancelScope outer_scope(outer.token());
+    EXPECT_TRUE(robust::current_cancel_token().valid());
+    robust::CancelSource inner;
+    inner.cancel("inner cancelled");
+    {
+      robust::CancelScope inner_scope(inner.token());
+      EXPECT_THROW(robust::poll_cancellation("test.inner"), robust::Cancelled);
+    }
+    // Back to the outer (uncancelled) token: polling passes again.
+    robust::poll_cancellation("test.outer");
+  }
+  EXPECT_FALSE(robust::current_cancel_token().valid());
+}
+
+TEST(Cancelled, MessageCarriesReasonAndBoundary) {
+  robust::CancelSource source;
+  source.cancel("watchdog: deadline of 1s exceeded");
+  robust::CancelScope scope(source.token());
+  try {
+    robust::poll_cancellation("train.batch");
+    FAIL() << "poll_cancellation must throw under a cancelled scope";
+  } catch (const robust::Cancelled& e) {
+    EXPECT_EQ(e.reason(), "watchdog: deadline of 1s exceeded");
+    EXPECT_NE(std::string(e.what()).find("train.batch"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: retry, watchdog, quarantine
+// ---------------------------------------------------------------------------
+
+/// Saves/restores the process-global supervisor config (and clears its
+/// strikes + stats) around every test; also keeps the fault injector clean.
+class SupervisorTest : public FaultFixture {
+ protected:
+  void SetUp() override {
+    FaultFixture::SetUp();
+    saved_config_ = robust::Supervisor::instance().config();
+    robust::Supervisor::instance().configure(fast_config());
+  }
+  void TearDown() override {
+    robust::Supervisor::instance().configure(saved_config_);
+    FaultFixture::TearDown();
+  }
+
+  /// Retry policy with negligible backoff so tests stay fast.
+  static robust::SupervisorConfig fast_config() {
+    robust::SupervisorConfig config;
+    config.backoff_initial_seconds = 0.001;
+    config.backoff_factor = 1.0;
+    return config;
+  }
+
+  robust::SupervisorConfig saved_config_;
+};
+
+TEST_F(SupervisorTest, SuccessOnFirstAttempt) {
+  robust::Supervisor sup(fast_config());
+  int calls = 0;
+  const robust::RunReport report = sup.run("key", [&] { ++calls; });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.retries(), 0);
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sup.stats().runs, 1);
+  EXPECT_EQ(sup.stats().retries, 0);
+}
+
+TEST_F(SupervisorTest, RetriesWithBackoffThenSucceeds) {
+  robust::SupervisorConfig config = fast_config();
+  config.max_retries = 2;
+  robust::Supervisor sup(config);
+  int calls = 0;
+  const robust::RunReport report = sup.run("key", [&] {
+    if (++calls < 3) throw std::runtime_error("transient failure");
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.retries(), 2);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sup.stats().retries, 2);
+  // Success wipes the key's strikes.
+  EXPECT_EQ(sup.strikes("key"), 0);
+}
+
+TEST_F(SupervisorTest, ExhaustedRetriesReportFailure) {
+  robust::SupervisorConfig config = fast_config();
+  config.max_retries = 1;
+  robust::Supervisor sup(config);
+  const robust::RunReport report =
+      sup.run("key", [] { throw std::runtime_error("permanent failure"); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, robust::RunStatus::kFailed);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_NE(report.failure.find("permanent failure"), std::string::npos);
+  EXPECT_EQ(sup.stats().failures, 1);
+  EXPECT_EQ(sup.strikes("key"), 2);
+}
+
+TEST_F(SupervisorTest, QuarantineAfterStrikesThenRefusesImmediately) {
+  robust::SupervisorConfig config = fast_config();
+  config.max_retries = 0;
+  config.quarantine_strikes = 2;
+  robust::Supervisor sup(config);
+  int calls = 0;
+  const auto failing = [&] {
+    ++calls;
+    throw std::runtime_error("boom");
+  };
+
+  EXPECT_EQ(sup.run("bad", failing).status, robust::RunStatus::kFailed);
+  EXPECT_FALSE(sup.quarantined("bad"));
+  // Second strike crosses the threshold.
+  EXPECT_EQ(sup.run("bad", failing).status, robust::RunStatus::kQuarantined);
+  EXPECT_TRUE(sup.quarantined("bad"));
+  EXPECT_EQ(sup.stats().quarantines, 1);
+
+  // Refused without executing: attempts == 0, reason names the quarantine.
+  const robust::RunReport refused = sup.run("bad", failing);
+  EXPECT_EQ(refused.status, robust::RunStatus::kQuarantined);
+  EXPECT_EQ(refused.attempts, 0);
+  EXPECT_NE(refused.failure.find("quarantined"), std::string::npos);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(sup.stats().refused, 1);
+
+  // Other keys are unaffected.
+  EXPECT_TRUE(sup.run("good", [] {}).ok());
+}
+
+TEST_F(SupervisorTest, SimulatedCrashPropagatesWithoutRetry) {
+  robust::SupervisorConfig config = fast_config();
+  config.max_retries = 5;
+  robust::Supervisor sup(config);
+  int calls = 0;
+  EXPECT_THROW(sup.run("key",
+                       [&] {
+                         ++calls;
+                         throw robust::SimulatedCrash("kill");
+                       }),
+               robust::SimulatedCrash);
+  EXPECT_EQ(calls, 1);  // a crash models a kill: no in-process retry
+}
+
+TEST_F(SupervisorTest, HangIsDetectedWithinStallBudget) {
+  robust::SupervisorConfig config = fast_config();
+  config.deadline_seconds = 20.0;  // generous total budget...
+  config.stall_seconds = 0.2;      // ...but a tight heartbeat budget
+  config.max_retries = 0;
+  robust::Supervisor sup(config);
+  robust::FaultInjector::instance().configure("hang@1");
+
+  const auto start = std::chrono::steady_clock::now();
+  const robust::RunReport report = sup.run("hang", [] {
+    for (int i = 0; i < 1000; ++i) {
+      robust::poll_cancellation("test.step");
+    }
+  });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_NE(report.failure.find("stalled"), std::string::npos);
+  EXPECT_EQ(sup.stats().timeouts, 1);
+  // Detection must come from the 0.2s stall budget, not the 20s deadline
+  // (5s leaves slack for a loaded CI machine).
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST_F(SupervisorTest, DeadlineCancelsOverBudgetAttempt) {
+  robust::SupervisorConfig config = fast_config();
+  config.deadline_seconds = 0.2;
+  config.stall_seconds = 20.0;  // heartbeats stay fresh; total budget trips
+  config.max_retries = 0;
+  robust::Supervisor sup(config);
+
+  const robust::RunReport report = sup.run("slow", [] {
+    for (int i = 0; i < 5000; ++i) {  // bounded: ~10s worst case
+      robust::poll_cancellation("test.step");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_NE(report.failure.find("deadline"), std::string::npos);
+  // The reason is formatted from the configured budget, never measured
+  // time, so degraded cells replay byte-identically on resume.
+  EXPECT_NE(report.failure.find("0.2s"), std::string::npos);
+}
+
+TEST_F(SupervisorTest, CancellationAtBatchBoundaryLeavesWeightsUntouched) {
+  Rng rng(11);
+  const auto data = tiny_task(rng, 8);
+  auto model = tiny_model(rng);
+  std::map<std::string, Tensor> before;
+  for (const auto& [name, tensor] : model->state_dict()) {
+    before[name] = tensor.clone();
+  }
+
+  robust::CancelSource source;
+  source.cancel("test: cancelled before training");
+  robust::CancelScope scope(source.token());
+
+  eval::TrainConfig cfg;
+  cfg.epochs = 2;
+  EXPECT_THROW(eval::train_classifier(*model, data.train, cfg, rng),
+               robust::Cancelled);
+
+  // The poll sits at the top of the batch loop, before any optimizer work:
+  // an already-cancelled scope means zero weight mutation (an integer
+  // number of sgd steps — here exactly none).
+  const auto after = model->state_dict();
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& [name, tensor] : after) {
+    const Tensor& orig = before.at(name);
+    ASSERT_EQ(tensor.numel(), orig.numel()) << name;
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      ASSERT_EQ(tensor[i], orig[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// New fault verbs: torn_write, slow_io, oom_sim
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointRobust, TornWriteNeverReplacesGoodCheckpoint) {
+  Rng rng(7);
+  nn::Conv2d good(3, 4, 3, 1, 1, true, rng);
+  nn::Conv2d other(3, 4, 3, 1, 1, true, rng);
+  TempFile file("torn_write");
+  nn::save_checkpoint(good, file.path());
+  const std::string good_bytes = slurp(file.path());
+
+  robust::FaultInjector::instance().configure("torn_write@1");
+  EXPECT_THROW(nn::save_checkpoint(other, file.path()),
+               robust::SimulatedCrash);
+
+  // Crash semantics: the torn tmp file stays on disk as debris...
+  ASSERT_TRUE(std::filesystem::exists(file.path() + ".tmp"));
+  EXPECT_LT(std::filesystem::file_size(file.path() + ".tmp"),
+            good_bytes.size());
+  // ...but the committed checkpoint is byte-identical and still loads.
+  EXPECT_EQ(slurp(file.path()), good_bytes);
+  nn::Conv2d reloaded(3, 4, 3, 1, 1, true, rng);
+  nn::load_checkpoint(reloaded, file.path());
+
+  // After the "restart" (fault disarmed) the save path works again and
+  // cleans up its tmp file.
+  robust::FaultInjector::instance().reset();
+  nn::save_checkpoint(other, file.path());
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+  const auto info = nn::inspect_checkpoint(file.path());
+  EXPECT_TRUE(info.crc_verified);
+}
+
+TEST_F(FaultInjectorTest, SlowIoOnlyAddsLatency) {
+  TempFile file("journal_slow");
+  robust::FaultInjector::instance().configure("slow_io@1");
+  robust::RunJournal journal(file.path());
+  journal.record("k1", {{"a", "1"}});  // slowed, but must succeed
+  journal.record("k2", {{"b", "2"}});
+
+  robust::FaultInjector::instance().reset();
+  robust::RunJournal reread(file.path());
+  EXPECT_EQ(reread.size(), 2u);
+  EXPECT_EQ(reread.find("k1")->at("a"), "1");
+}
+
+TEST_F(FaultInjectorTest, OomSimThrowsBadAlloc) {
+  robust::FaultInjector::instance().configure("oom_sim@1");
+  auto& faults = robust::FaultInjector::instance();
+  EXPECT_THROW(faults.fire_oom("test"), robust::SimulatedOom);
+  EXPECT_THROW(
+      {
+        robust::FaultInjector::instance().configure("oom_sim@1");
+        try {
+          faults.fire_oom("test");
+        } catch (const std::bad_alloc&) {
+          throw;  // must be catchable as bad_alloc
+        }
+      },
+      std::bad_alloc);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded cells: retry determinism + journal round-trip
+// ---------------------------------------------------------------------------
+
+using TableChaos = SupervisorTest;
+
+TEST_F(TableChaos, RetriedRunMatchesCleanRunByteForByte) {
+  eval::TableSpec spec;
+  spec.title = "chaos-retry";
+  spec.dataset = "cifar";
+  spec.arch = "vgg";
+  spec.attacks = {"badnet"};
+  spec.defenses = {"ft", "clp"};
+  spec.scale = micro_scale();
+  spec.resume = false;
+
+  ::testing::internal::CaptureStdout();
+  eval::run_table(spec);
+  const std::string clean_out =
+      strip_timing(::testing::internal::GetCapturedStdout());
+
+  // Trial 2 (the clp cell's only trial) fails once and is retried from its
+  // pre-drawn seed: the supervised rerun must be bit-identical, proving
+  // retries never advance the global RNG or shift later seeds.
+  robust::FaultInjector::instance().configure("oom_sim@2");
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun faulted = eval::run_table(spec);
+  const std::string faulted_out =
+      strip_timing(::testing::internal::GetCapturedStdout());
+
+  EXPECT_EQ(faulted_out, clean_out);
+  EXPECT_EQ(faulted.degraded_cells, 0u);
+  ASSERT_EQ(faulted.settings.size(), 2u);
+  EXPECT_EQ(faulted.settings[0].attempts, 1);
+  EXPECT_EQ(faulted.settings[1].attempts, 2);  // one retry
+}
+
+TEST_F(TableChaos, DegradedCellRoundTripsThroughJournal) {
+  robust::SupervisorConfig config = fast_config();
+  config.max_retries = 1;
+  robust::Supervisor::instance().configure(config);
+
+  eval::TableSpec spec;
+  spec.title = "chaos-degraded";
+  spec.dataset = "cifar";
+  spec.arch = "vgg";
+  spec.attacks = {"badnet"};
+  spec.defenses = {"ft", "clp"};
+  spec.scale = micro_scale();
+  spec.resume = false;
+
+  TempFile journal("journal_degraded");
+  spec.journal_path = journal.path();
+
+  // Both attempts of the first cell's only trial fail: retry budget
+  // exhausted, the cell degrades, the rest of the table completes.
+  robust::FaultInjector::instance().configure("oom_sim@1,oom_sim@2");
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun first = eval::run_table(spec);
+  const std::string first_out =
+      strip_timing(::testing::internal::GetCapturedStdout());
+  robust::FaultInjector::instance().reset();
+
+  EXPECT_EQ(first.degraded_cells, 1u);
+  ASSERT_EQ(first.settings.size(), 2u);
+  EXPECT_TRUE(first.settings[0].degraded);
+  EXPECT_EQ(first.settings[0].attempts, 2);
+  EXPECT_NE(first.settings[0].failure.find("out-of-memory"),
+            std::string::npos);
+  EXPECT_FALSE(first.settings[1].degraded);
+  EXPECT_NE(first_out.find("degraded"), std::string::npos);
+
+  // Resume replays the degraded cell from the journal byte-identically —
+  // failure reason, attempts and the table row all round-trip.
+  spec.resume = true;
+  ::testing::internal::CaptureStdout();
+  const eval::TableRun resumed = eval::run_table(spec);
+  const std::string resumed_out =
+      strip_timing(::testing::internal::GetCapturedStdout());
+
+  EXPECT_EQ(resumed_out, first_out);
+  EXPECT_EQ(resumed.resumed_cells, 2u);
+  EXPECT_EQ(resumed.degraded_cells, 1u);
+  ASSERT_EQ(resumed.settings.size(), 2u);
+  EXPECT_TRUE(resumed.settings[0].degraded);
+  EXPECT_EQ(resumed.settings[0].attempts, 2);
+  EXPECT_EQ(resumed.settings[0].failure, first.settings[0].failure);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "eval/runner.h"
+#include "robust/fault_injector.h"
+#include "robust/supervisor.h"
 #include "util/env.h"
 
 namespace bd::eval {
@@ -96,6 +98,89 @@ TEST(Runner, EveryRegisteredDefenseRunsAtMicroScale) {
     EXPECT_LE(trial.metrics.asr + trial.metrics.ra, 100.0 + 1e-9) << defense;
     EXPECT_GE(trial.info.seconds, 0.0) << defense;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised trial execution inside run_setting
+// ---------------------------------------------------------------------------
+
+/// Saves/restores the global supervisor config and keeps faults disarmed.
+class RunnerSupervised : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    robust::FaultInjector::instance().reset();
+    saved_config_ = robust::Supervisor::instance().config();
+    robust::SupervisorConfig config;
+    config.backoff_initial_seconds = 0.001;
+    config.backoff_factor = 1.0;
+    robust::Supervisor::instance().configure(config);
+  }
+  void TearDown() override {
+    robust::Supervisor::instance().configure(saved_config_);
+    robust::FaultInjector::instance().reset();
+  }
+
+  robust::SupervisorConfig saved_config_;
+};
+
+TEST_F(RunnerSupervised, HealthySettingReportsOneAttemptPerTrial) {
+  ExperimentScale scale = micro_scale();
+  scale.trials = 2;
+  const BackdooredModel bd =
+      prepare_backdoored_model("cifar", "vgg", "badnet", scale, 44);
+  const SettingResult setting = run_setting(bd, "clp", 2, scale, 9);
+  EXPECT_FALSE(setting.degraded);
+  EXPECT_EQ(setting.failure, "");
+  EXPECT_EQ(setting.attempts, 2);  // one attempt per trial
+  EXPECT_EQ(setting.acc.size(), 2u);
+}
+
+TEST_F(RunnerSupervised, RetriedTrialReusesItsPreDrawnSeed) {
+  ExperimentScale scale = micro_scale();
+  scale.trials = 2;
+  const BackdooredModel bd =
+      prepare_backdoored_model("cifar", "vgg", "badnet", scale, 44);
+  const SettingResult clean = run_setting(bd, "clp", 2, scale, 9);
+
+  // Trial 1's first attempt fails; its retry must re-derive the same seed,
+  // and trial 2's seed must not shift: bit-identical metrics.
+  robust::FaultInjector::instance().configure("oom_sim@1");
+  const SettingResult retried = run_setting(bd, "clp", 2, scale, 9);
+  robust::FaultInjector::instance().reset();
+
+  EXPECT_FALSE(retried.degraded);
+  EXPECT_EQ(retried.attempts, 3);  // trial 1 twice + trial 2 once
+  EXPECT_EQ(retried.acc, clean.acc);
+  EXPECT_EQ(retried.asr, clean.asr);
+  EXPECT_EQ(retried.ra, clean.ra);
+}
+
+TEST_F(RunnerSupervised, QuarantinedSettingIsRefusedImmediately) {
+  robust::SupervisorConfig config;
+  config.backoff_initial_seconds = 0.001;
+  config.backoff_factor = 1.0;
+  config.max_retries = 0;
+  config.quarantine_strikes = 2;
+  robust::Supervisor::instance().configure(config);
+
+  const ExperimentScale scale = micro_scale();
+  const BackdooredModel bd =
+      prepare_backdoored_model("cifar", "vgg", "badnet", scale, 44);
+
+  // Two failing runs strike the config out...
+  robust::FaultInjector::instance().configure("oom_sim@1,oom_sim@2");
+  const SettingResult first = run_setting(bd, "clp", 2, scale, 9);
+  EXPECT_TRUE(first.degraded);
+  EXPECT_EQ(first.attempts, 1);
+  const SettingResult second = run_setting(bd, "clp", 2, scale, 9);
+  EXPECT_TRUE(second.degraded);
+  robust::FaultInjector::instance().reset();
+
+  // ...after which the supervisor refuses the key without running it.
+  const SettingResult refused = run_setting(bd, "clp", 2, scale, 9);
+  EXPECT_TRUE(refused.degraded);
+  EXPECT_EQ(refused.attempts, 0);
+  EXPECT_NE(refused.failure.find("quarantined"), std::string::npos);
 }
 
 }  // namespace
