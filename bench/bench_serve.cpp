@@ -1,0 +1,148 @@
+// Saturation bench for the serve subsystem: sustained jobs/min of a
+// SanitizeService worker pool at 1, 2 and 4 workers, driven in-process so
+// no socket or client latency muddies the number.
+//
+// The tensor runtime is pinned to ONE thread, so the measured scaling
+// comes from worker-level parallelism (concurrent jobs), not from the
+// kernels — the honest number for capacity planning, since a deployment
+// sizes its worker pool against single-threaded job cost. The backbone
+// cache is disabled so every job carries the full pipeline (train poisoned
+// backbone + sanitize + evaluate); cache-hit latency is a separate,
+// near-free path that would only flatter the result.
+//
+// Besides the console table, a machine-readable summary goes to
+// BENCH_serve.json (override with BDPROTO_BENCH_JSON) so CI can archive
+// service throughput across commits.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "robust/supervisor.h"
+#include "runtime/thread_pool.h"
+#include "serve/service.h"
+
+namespace {
+
+constexpr std::int64_t kJobs = 9;
+constexpr int kTenants = 3;
+
+bd::serve::JobSpec tiny_spec(std::int64_t index) {
+  bd::serve::JobSpec spec;
+  spec.tenant = "tenant" + std::to_string(index % kTenants);
+  spec.spc = 2;
+  spec.seed = 1234 + static_cast<std::uint64_t>(index);  // distinct backbones
+  spec.width = 4;
+  spec.attack_epochs = 1;
+  spec.prune_rounds = 2;
+  spec.finetune_epochs = 1;
+  spec.train_per_class = 4;
+  spec.test_per_class = 4;
+  return spec;
+}
+
+struct RunResult {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double jobs_per_min = 0.0;
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+};
+
+RunResult run_at(std::size_t workers) {
+  bd::robust::Supervisor supervisor;  // fresh strikes/stats per pool size
+  bd::serve::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = static_cast<std::size_t>(kJobs);
+  config.tenant_quota = static_cast<std::size_t>(kJobs);
+  config.cache_capacity = 0;  // full pipeline on every job
+  config.supervisor = &supervisor;
+
+  bd::serve::SanitizeService service(config);
+  for (std::int64_t i = 0; i < kJobs; ++i) {
+    const bd::serve::SubmitResult submitted = service.submit(tiny_spec(i));
+    if (submitted.admission != bd::serve::Admission::kAdmitted) {
+      std::fprintf(stderr, "bench_serve: submit rejected: %s\n",
+                   bd::serve::admission_name(submitted.admission));
+      std::exit(1);
+    }
+  }
+
+  // Workers start after the queue is loaded: the measurement is pure
+  // drain, no submit latency inside the window.
+  const auto t0 = std::chrono::steady_clock::now();
+  service.start();
+  service.drain();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  service.stop();
+
+  const bd::serve::ServiceStats stats = service.stats();
+  RunResult result;
+  result.workers = workers;
+  result.seconds = elapsed.count();
+  result.jobs_per_min = elapsed.count() > 0
+                            ? 60.0 * static_cast<double>(kJobs) /
+                                  elapsed.count()
+                            : 0.0;
+  result.done = stats.done;
+  result.failed = stats.failed;
+  return result;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<RunResult>& results) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "{\"bench\":\"serve\",\"jobs\":" << kJobs
+     << ",\"tenants\":" << kTenants << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s\n{\"workers\":%zu,\"seconds\":%.3f,"
+                  "\"jobs_per_min\":%.2f,\"done\":%lld,\"failed\":%lld}",
+                  i ? "," : "", r.workers, r.seconds, r.jobs_per_min,
+                  static_cast<long long>(r.done),
+                  static_cast<long long>(r.failed));
+    os << line;
+  }
+  os << "\n]}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main() {
+  // Keep the job size bench-friendly unless the caller asked otherwise.
+  ::setenv("BDPROTO_MODE", "quick", /*overwrite=*/0);
+  // One tensor thread: scaling below is worker-level, not kernel-level.
+  bd::runtime::set_thread_count(1);
+
+  std::vector<RunResult> results;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const RunResult r = run_at(workers);
+    std::printf("workers=%zu  %6.2fs  %8.1f jobs/min  done=%lld failed=%lld",
+                r.workers, r.seconds, r.jobs_per_min,
+                static_cast<long long>(r.done),
+                static_cast<long long>(r.failed));
+    if (!results.empty() && r.seconds > 0) {
+      std::printf("  speedup=%.2fx", results.front().seconds / r.seconds);
+    }
+    std::printf("\n");
+    results.push_back(r);
+  }
+
+  const char* env_path = std::getenv("BDPROTO_BENCH_JSON");
+  const std::string path = env_path != nullptr && env_path[0] != '\0'
+                               ? env_path
+                               : "BENCH_serve.json";
+  if (!write_json(path, results)) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

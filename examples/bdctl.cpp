@@ -22,12 +22,18 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "core/registry.h"
 #include "eval/runner.h"
 #include "nn/checkpoint.h"
 #include "obs/obs.h"
 #include "robust/journal.h"
 #include "robust/supervisor.h"
+#include "serve/client.h"
+#include "serve/job.h"
+#include "serve/server.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -64,8 +70,8 @@ Args parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bdctl <train-backdoor|evaluate|defend|verify|profile>"
-               " [flags]\n"
+               "usage: bdctl <train-backdoor|evaluate|defend|verify|profile|"
+               "serve|submit|jobs|cancel|shutdown|loadgen> [flags]\n"
                "  common   : --attack badnet|blended|lf|bpp|dynamic\n"
                "             --arch preactresnet|vgg|efficientnet|mobilenet\n"
                "             --dataset cifar|gtsrb  --seed N  --width N\n"
@@ -85,7 +91,23 @@ int usage() {
                "prints the span\n"
                "             tree plus top metrics; honors BDPROTO_TRACE/"
                "BDPROTO_METRICS export\n"
-               "             paths\n");
+               "             paths\n"
+               "  serve    : --socket PATH --workers N --queue N --quota N "
+               "--cache N\n"
+               "             --journal PATH --resume 0|1   (daemon; blocks "
+               "until shutdown)\n"
+               "  submit   : --socket PATH --tenant T [job flags: --dataset "
+               "--arch --attack\n"
+               "             --defense --spc --seed --width --attack-epochs "
+               "--prune-rounds\n"
+               "             --ft-epochs --train-per-class --test-per-class "
+               "--model --out]\n"
+               "             [--wait 1 --timeout SECS]\n"
+               "  jobs     : --socket PATH [--tenant T]\n"
+               "  cancel   : --socket PATH --id jNNNNNN\n"
+               "  shutdown : --socket PATH\n"
+               "  loadgen  : --socket PATH --jobs N --tenants K [--distinct "
+               "D] [job flags]\n");
   return 2;
 }
 
@@ -152,6 +174,10 @@ int cmd_verify(const std::string& path) {
                 info.crc_verified ? "CRC ok" : "no CRC (legacy v1)",
                 info.entries.size(),
                 static_cast<long long>(info.total_elements));
+    // The content identity the serve daemon folds into its backbone-LRU
+    // key for jobs submitted with this checkpoint (see serve/job.h).
+    std::printf("cache key: %s\n",
+                serve::checkpoint_cache_key(info).c_str());
     for (const auto& entry : info.entries) {
       std::string shape = "[";
       for (std::size_t d = 0; d < entry.shape.size(); ++d) {
@@ -308,6 +334,276 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+std::string serve_socket(const Args& args) {
+  return args.get("socket", "bdserve.sock");
+}
+
+/// Builds the submit request's "job" object from the CLI's job flags. Only
+/// flags the caller actually passed are emitted, so daemon-side defaults
+/// apply to everything else. `seed_override` >= 0 replaces --seed (the
+/// load generator uses it to spread jobs across distinct backbones).
+std::string job_object_from_flags(const Args& args,
+                                  std::int64_t seed_override = -1) {
+  serve::JsonObject job;
+  const auto set_str = [&args, &job](const char* flag, const char* member) {
+    if (args.flags.count(flag)) job.set(member, args.get(flag, ""));
+  };
+  const auto set_int = [&args, &job](const char* flag, const char* member) {
+    if (args.flags.count(flag)) job.set_int(member, args.get_int(flag, 0));
+  };
+  set_str("dataset", "dataset");
+  set_str("arch", "arch");
+  set_str("attack", "attack");
+  set_str("defense", "defense");
+  set_int("spc", "spc");
+  if (seed_override >= 0) {
+    job.set_int("seed", seed_override);
+  } else {
+    set_int("seed", "seed");
+  }
+  set_int("width", "width");
+  set_int("attack-epochs", "attack_epochs");
+  set_int("prune-rounds", "prune_rounds");
+  set_int("ft-epochs", "finetune_epochs");
+  set_int("train-per-class", "train_per_class");
+  set_int("test-per-class", "test_per_class");
+  set_str("model", "model");
+  set_str("out", "out");
+  return job.str();
+}
+
+void print_job(const serve::Json& job) {
+  std::printf("%-8s %-11s %-10s %s/%s/%s %s spc=%lld attempts=%lld%s",
+              job.get_string("id").c_str(), job.get_string("state").c_str(),
+              job.get_string("tenant").c_str(),
+              job.get_string("dataset").c_str(),
+              job.get_string("arch").c_str(), job.get_string("attack").c_str(),
+              job.get_string("defense").c_str(),
+              static_cast<long long>(job.get_int("spc", 0)),
+              static_cast<long long>(job.get_int("attempts", 0)),
+              job.get_bool("cache_hit", false) ? " cache=hit" : "");
+  if (job.find("acc") != nullptr) {
+    std::printf("  ACC=%.2f ASR=%.2f RA=%.2f pruned=%lld %.1fs",
+                job.get_double("acc", 0), job.get_double("asr", 0),
+                job.get_double("ra", 0),
+                static_cast<long long>(job.get_int("pruned", 0)),
+                job.get_double("seconds", 0));
+  }
+  const std::string error = job.get_string("error");
+  if (!error.empty()) std::printf("  error=%s", error.c_str());
+  std::printf("\n");
+}
+
+/// Polls `id` until it reaches a terminal state; prints the final record.
+int wait_for_job(const serve::Client& client, const std::string& id,
+                 double timeout_seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const serve::Json response = client.request_json(
+        serve::JsonObject().set("op", "status").set("id", id).str());
+    if (!response.get_bool("ok", false)) {
+      std::fprintf(stderr, "bdctl: status %s: %s\n", id.c_str(),
+                   response.get_string("message").c_str());
+      return 1;
+    }
+    const serve::Json* job = response.find("job");
+    if (job == nullptr) return 1;
+    const std::string state = job->get_string("state");
+    if (state != "queued" && state != "running") {
+      print_job(*job);
+      return state == "done" ? 0 : 1;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    if (timeout_seconds > 0 && elapsed.count() > timeout_seconds) {
+      std::fprintf(stderr, "bdctl: timed out waiting for %s (still %s)\n",
+                   id.c_str(), state.c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerConfig config;
+  config.socket_path = serve_socket(args);
+  config.service.workers =
+      static_cast<std::size_t>(args.get_int("workers", 2));
+  config.service.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 16));
+  config.service.tenant_quota =
+      static_cast<std::size_t>(args.get_int("quota", 4));
+  config.service.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 4));
+  config.service.journal_path = args.get("journal", "");
+  config.service.resume_interrupted = args.get_int("resume", 0) != 0;
+
+  serve::SocketServer server(config);
+  const serve::ServiceStats loaded = server.service().stats();
+  if (loaded.submitted > 0) {
+    std::printf("journal: %lld jobs (%lld done, %lld failed, %lld cancelled, "
+                "%lld interrupted)\n",
+                static_cast<long long>(loaded.submitted),
+                static_cast<long long>(loaded.done),
+                static_cast<long long>(loaded.failed),
+                static_cast<long long>(loaded.cancelled),
+                static_cast<long long>(loaded.interrupted));
+  }
+  std::printf("serving on %s (workers=%zu queue=%zu quota=%zu cache=%zu)\n",
+              config.socket_path.c_str(), config.service.workers,
+              config.service.queue_capacity, config.service.tenant_quota,
+              config.service.cache_capacity);
+  std::fflush(stdout);
+  server.run();
+  std::printf("shut down cleanly\n");
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const serve::Client client(serve_socket(args));
+  const std::string tenant = args.get("tenant", "default");
+  serve::JsonObject request;
+  request.set("op", "submit")
+      .set("tenant", tenant)
+      .set_raw("job", job_object_from_flags(args));
+  const serve::Json response = client.request_json(request.str());
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "bdctl submit: %s: %s\n",
+                 response.get_string("error", "error").c_str(),
+                 response.get_string("message").c_str());
+    return 1;
+  }
+  const std::string id = response.get_string("id");
+  std::printf("submitted %s (tenant=%s)\n", id.c_str(), tenant.c_str());
+  if (args.get_int("wait", 0) == 0) return 0;
+  return wait_for_job(client, id,
+                      static_cast<double>(args.get_int("timeout", 600)));
+}
+
+int cmd_jobs(const Args& args) {
+  const serve::Client client(serve_socket(args));
+  serve::JsonObject request;
+  request.set("op", "jobs");
+  if (args.flags.count("tenant")) request.set("tenant", args.get("tenant", ""));
+  const serve::Json response = client.request_json(request.str());
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "bdctl jobs: %s\n",
+                 response.get_string("message").c_str());
+    return 1;
+  }
+  const serve::Json* jobs = response.find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) return 1;
+  for (const serve::Json& job : jobs->items()) print_job(job);
+  std::printf("%zu job(s)\n", jobs->items().size());
+  return 0;
+}
+
+int cmd_cancel(const Args& args) {
+  const serve::Client client(serve_socket(args));
+  const std::string id = args.get("id", "");
+  const serve::Json response = client.request_json(
+      serve::JsonObject().set("op", "cancel").set("id", id).str());
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "bdctl cancel: %s: %s\n",
+                 response.get_string("error", "error").c_str(),
+                 response.get_string("message").c_str());
+    return 1;
+  }
+  std::printf("%s %s\n", id.c_str(), response.get_string("state").c_str());
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  const serve::Client client(serve_socket(args));
+  const serve::Json response =
+      client.request_json(serve::JsonObject().set("op", "shutdown").str());
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "bdctl shutdown: %s\n",
+                 response.get_string("message").c_str());
+    return 1;
+  }
+  std::printf("daemon shutting down\n");
+  return 0;
+}
+
+/// Load generator: submits --jobs jobs round-robin across --tenants
+/// synthetic tenants, backing off on admission rejections, then waits for
+/// every job and reports throughput plus the daemon's cache/quota stats.
+int cmd_loadgen(const Args& args) {
+  const serve::Client client(serve_socket(args));
+  const std::int64_t total = args.get_int("jobs", 8);
+  const std::int64_t tenants = std::max<std::int64_t>(args.get_int("tenants", 2), 1);
+  const std::int64_t distinct = std::max<std::int64_t>(args.get_int("distinct", 1), 1);
+  const std::int64_t base_seed = args.get_int("seed", 1234);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> ids;
+  std::int64_t rejections = 0;
+  for (std::int64_t i = 0; i < total; ++i) {
+    serve::JsonObject request;
+    request.set("op", "submit")
+        .set("tenant", "tenant" + std::to_string(i % tenants))
+        .set_raw("job", job_object_from_flags(args, base_seed + i % distinct));
+    for (;;) {
+      const serve::Json response = client.request_json(request.str());
+      if (response.get_bool("ok", false)) {
+        ids.push_back(response.get_string("id"));
+        break;
+      }
+      const std::string code = response.get_string("error");
+      if (code == "queue_full" || code == "quota_exceeded") {
+        ++rejections;  // admission pushback is expected under load
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        continue;
+      }
+      std::fprintf(stderr, "bdctl loadgen: %s: %s\n", code.c_str(),
+                   response.get_string("message").c_str());
+      return 1;
+    }
+  }
+
+  std::map<std::string, std::int64_t> states;
+  for (const std::string& id : ids) {
+    for (;;) {
+      const serve::Json response = client.request_json(
+          serve::JsonObject().set("op", "status").set("id", id).str());
+      const serve::Json* job = response.find("job");
+      if (job == nullptr) return 1;
+      const std::string state = job->get_string("state");
+      if (state != "queued" && state != "running") {
+        ++states[state];
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  std::string breakdown;
+  for (const auto& [state, count] : states) {
+    breakdown += " " + state + "=" + std::to_string(count);
+  }
+  std::printf("loadgen: %lld jobs in %.1fs (%.1f jobs/min),%s, "
+              "%lld admission rejections (retried)\n",
+              static_cast<long long>(total), elapsed.count(),
+              elapsed.count() > 0 ? 60.0 * static_cast<double>(total) /
+                                        elapsed.count()
+                                  : 0.0,
+              breakdown.c_str(), static_cast<long long>(rejections));
+
+  const serve::Json stats =
+      client.request_json(serve::JsonObject().set("op", "stats").str());
+  const serve::Json* cache = stats.find("cache");
+  if (cache != nullptr) {
+    std::printf("cache: hits=%lld misses=%lld evictions=%lld size=%lld\n",
+                static_cast<long long>(cache->get_int("hits", 0)),
+                static_cast<long long>(cache->get_int("misses", 0)),
+                static_cast<long long>(cache->get_int("evictions", 0)),
+                static_cast<long long>(cache->get_int("size", 0)));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +617,12 @@ int main(int argc, char** argv) {
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "defend") return cmd_defend(args);
     if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "submit") return cmd_submit(args);
+    if (args.command == "jobs") return cmd_jobs(args);
+    if (args.command == "cancel") return cmd_cancel(args);
+    if (args.command == "shutdown") return cmd_shutdown(args);
+    if (args.command == "loadgen") return cmd_loadgen(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bdctl: %s\n", e.what());

@@ -167,22 +167,37 @@ TrialResult run_defense_trial(const BackdooredModel& bd,
                               const std::string& defense_name,
                               std::int64_t spc, const ExperimentScale& scale,
                               std::uint64_t trial_seed) {
-  BD_OBS_SPAN_ARG("runner.trial", spc);
+  SanitizeRequest req;
+  req.defense = defense_name;
+  req.spc = spc;
+  req.seed = trial_seed;
+  SanitizeOutcome out = run_sanitization(bd, req, scale);
+  return TrialResult{out.metrics, std::move(out.info)};
+}
+
+SanitizeOutcome run_sanitization(const BackdooredModel& bd,
+                                 const SanitizeRequest& req,
+                                 const ExperimentScale& scale) {
+  BD_OBS_SPAN_ARG("runner.trial", req.spc);
   BD_OBS_COUNT("runner.trials", 1);
   robust::FaultInjector::instance().fire_oom("runner.trial");
-  Rng rng(trial_seed);
+  Rng rng(req.seed);
   auto model = bd.instantiate(rng);
+  if (req.state_override != nullptr) {
+    model->load_state_dict(*req.state_override);
+  }
 
   const data::ImageDataset spc_set =
-      bd.clean_train_pool.sample_per_class(spc, rng);
+      bd.clean_train_pool.sample_per_class(req.spc, rng);
   const defense::DefenseContext ctx =
       defense::make_defense_context(spc_set, *bd.trigger, bd.spec, rng);
 
-  auto defense = make_scaled_defense(defense_name, scale);
-  TrialResult result;
+  auto defense = make_scaled_defense(req.defense, scale);
+  SanitizeOutcome result;
   result.info = defense->apply(*model, ctx);
   result.metrics =
       evaluate_backdoor(*model, bd.clean_test, bd.asr_test, bd.ra_test);
+  if (req.keep_model) result.model = std::move(model);
   return result;
 }
 

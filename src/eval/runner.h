@@ -85,6 +85,31 @@ TrialResult run_custom_defense_trial(const BackdooredModel& bd,
                                      std::int64_t spc,
                                      std::uint64_t trial_seed);
 
+/// One serve-style sanitization request against a prepared backbone: like
+/// run_defense_trial, but the poisoned weights can come from a client
+/// checkpoint and the repaired model can be kept for checkpointing.
+struct SanitizeRequest {
+  std::string defense = "gradprune";
+  std::int64_t spc = 10;
+  std::uint64_t seed = 0;
+  /// Optional replacement for bd.state (a client-supplied poisoned
+  /// checkpoint state dict); shapes must match bd.spec.
+  const std::map<std::string, Tensor>* state_override = nullptr;
+  /// Keep the sanitized model in the outcome (e.g. to save_checkpoint it).
+  bool keep_model = false;
+};
+
+struct SanitizeOutcome {
+  BackdoorMetrics metrics;
+  defense::DefenseResult info;
+  /// Sanitized model, populated only when SanitizeRequest::keep_model.
+  std::unique_ptr<models::Classifier> model;
+};
+
+SanitizeOutcome run_sanitization(const BackdooredModel& bd,
+                                 const SanitizeRequest& req,
+                                 const ExperimentScale& scale);
+
 /// Per-setting aggregate over trials.
 struct SettingResult {
   std::string attack;

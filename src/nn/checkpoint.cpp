@@ -92,6 +92,7 @@ struct ParsedCheckpoint {
   bool crc_verified = false;
   std::map<std::string, Tensor> state;
   std::vector<CheckpointEntryInfo> entries;
+  std::uint32_t content_crc = 0;
 };
 
 /// Parses and fully validates the checkpoint at `path`. Every error names
@@ -162,6 +163,9 @@ ParsedCheckpoint parse_checkpoint(const std::string& path) {
                    " (limit " + std::to_string(kMaxEntries) +
                    "); header is corrupt");
   }
+
+  parsed.content_crc = robust::crc32(buf.data() + entries_begin,
+                                     entries_end - entries_begin);
 
   std::istringstream stream(buf);
   stream.seekg(static_cast<std::streamoff>(entries_begin));
@@ -281,6 +285,7 @@ CheckpointInfo inspect_checkpoint(const std::string& path) {
   info.version = parsed.version;
   info.crc_verified = parsed.crc_verified;
   info.entries = std::move(parsed.entries);
+  info.content_crc = parsed.content_crc;
   for (const auto& e : info.entries) info.total_elements += e.numel;
   return info;
 }

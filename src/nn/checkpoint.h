@@ -47,6 +47,10 @@ struct CheckpointInfo {
   bool crc_verified = false;  // true when a v2 CRC was checked and matched
   std::vector<CheckpointEntryInfo> entries;
   std::int64_t total_elements = 0;
+  /// CRC-32 over the entry region only (names + tensor payloads, no
+  /// header/footer), so it identifies the *content* of the state dict
+  /// identically for v1 and v2 files. Feeds the serve backbone cache key.
+  std::uint32_t content_crc = 0;
 };
 
 /// Fully validates `path` (magic, version, CRC for v2, every entry) and

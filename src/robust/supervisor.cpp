@@ -34,10 +34,12 @@ std::string format_seconds(double seconds) {
 /// only when at least one budget is configured.
 class Watchdog {
  public:
-  Watchdog(CancelSource& source, double deadline_seconds, double stall_seconds)
+  Watchdog(CancelSource& source, double deadline_seconds, double stall_seconds,
+           CancelToken external)
       : source_(source),
         deadline_seconds_(deadline_seconds),
         stall_seconds_(stall_seconds),
+        external_(std::move(external)),
         start_(std::chrono::steady_clock::now()) {
     thread_ = std::thread([this] { watch(); });
   }
@@ -57,20 +59,31 @@ class Watchdog {
  private:
   void watch() {
     // Poll at ~1/8 of the tightest budget so detection lands well within
-    // one budget interval, clamped to [1ms, 250ms].
+    // one budget interval, clamped to [1ms, 250ms]. With only an external
+    // token to watch there is no budget to subdivide; 50ms keeps client
+    // cancellation snappy without spinning.
     double tightest = 0.0;
     if (deadline_seconds_ > 0.0) tightest = deadline_seconds_;
     if (stall_seconds_ > 0.0 &&
         (tightest == 0.0 || stall_seconds_ < tightest)) {
       tightest = stall_seconds_;
     }
-    const auto interval = std::chrono::milliseconds(std::clamp(
-        static_cast<long long>(tightest * 1000.0 / 8.0), 1LL, 250LL));
+    const auto interval =
+        tightest > 0.0
+            ? std::chrono::milliseconds(std::clamp(
+                  static_cast<long long>(tightest * 1000.0 / 8.0), 1LL,
+                  250LL))
+            : std::chrono::milliseconds(50);
 
     std::unique_lock<std::mutex> lock(mutex_);
     while (!done_) {
       cv_.wait_for(lock, interval);
       if (done_) return;
+      if (external_.valid() && external_.cancelled()) {
+        source_.cancel(external_.reason().empty() ? "cancelled by caller"
+                                                  : external_.reason());
+        return;
+      }
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start_)
@@ -92,6 +105,7 @@ class Watchdog {
   CancelSource& source_;
   const double deadline_seconds_;
   const double stall_seconds_;
+  const CancelToken external_;
   const std::chrono::steady_clock::time_point start_;
   std::thread thread_;
   std::mutex mutex_;
@@ -196,7 +210,8 @@ SupervisorStats Supervisor::stats() const {
 }
 
 RunReport Supervisor::run(const std::string& key,
-                          const std::function<void()>& fn) {
+                          const std::function<void()>& fn,
+                          CancelToken external_cancel) {
   SupervisorConfig config;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -218,6 +233,13 @@ RunReport Supervisor::run(const std::string& key,
                                                   : config.deadline_seconds;
   RunReport report;
   for (int attempt = 1; attempt <= 1 + config.max_retries; ++attempt) {
+    if (external_cancel.valid() && external_cancel.cancelled()) {
+      report.externally_cancelled = true;
+      report.failure = external_cancel.reason().empty()
+                           ? "cancelled by caller"
+                           : external_cancel.reason();
+      break;
+    }
     if (attempt > 1) {
       const double backoff =
           config.backoff_initial_seconds *
@@ -237,8 +259,10 @@ RunReport Supervisor::run(const std::string& key,
       CancelSource source;
       CancelScope scope(source.token());
       std::optional<Watchdog> watchdog;
-      if (config.deadline_seconds > 0.0 || stall > 0.0) {
-        watchdog.emplace(source, config.deadline_seconds, stall);
+      if (config.deadline_seconds > 0.0 || stall > 0.0 ||
+          external_cancel.valid()) {
+        watchdog.emplace(source, config.deadline_seconds, stall,
+                         external_cancel);
       }
       fn();
       report.status = RunStatus::kOk;
@@ -251,6 +275,13 @@ RunReport Supervisor::run(const std::string& key,
       throw;  // models a process kill: no in-process retry
     } catch (const Cancelled& e) {
       report.failure = e.what();
+      if (external_cancel.valid() && external_cancel.cancelled()) {
+        // Client-requested stop: not the configuration's fault, so no
+        // strike, no retry — report it and let the caller record the
+        // cancellation.
+        report.externally_cancelled = true;
+        break;
+      }
       report.timed_out = true;
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.timeouts;
@@ -275,9 +306,15 @@ RunReport Supervisor::run(const std::string& key,
   report.status = RunStatus::kFailed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.failures;
+    if (report.externally_cancelled) {
+      ++stats_.cancelled;
+    } else {
+      ++stats_.failures;
+    }
   }
-  BD_OBS_COUNT("supervisor.failures", 1);
+  BD_OBS_COUNT(report.externally_cancelled ? "supervisor.cancelled"
+                                           : "supervisor.failures",
+               1);
   return report;
 }
 

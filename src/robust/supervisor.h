@@ -67,6 +67,10 @@ struct RunReport {
   int attempts = 0;
   /// True when any attempt was cancelled by the watchdog.
   bool timed_out = false;
+  /// True when the run stopped because the caller-supplied external token
+  /// was cancelled (e.g. a serve client cancelled its job). Externally
+  /// cancelled runs are never retried and never add a strike.
+  bool externally_cancelled = false;
   /// Last failure reason ("" on success).
   std::string failure;
 
@@ -81,6 +85,7 @@ struct SupervisorStats {
   std::int64_t failures = 0;     // runs ending kFailed
   std::int64_t quarantines = 0;  // keys moved into quarantine
   std::int64_t refused = 0;      // runs refused because the key was quarantined
+  std::int64_t cancelled = 0;    // runs stopped by an external cancel token
 };
 
 class Supervisor {
@@ -93,7 +98,12 @@ class Supervisor {
 
   /// Runs `fn` under the watchdog/retry/quarantine policy. `fn` must be
   /// re-runnable: every attempt re-derives its state from pre-drawn seeds.
-  RunReport run(const std::string& key, const std::function<void()>& fn);
+  /// When `external_cancel` is a valid token, the watchdog also forwards
+  /// its cancellation into the attempt (observed cooperatively at the next
+  /// poll_cancellation() boundary); an externally cancelled run stops
+  /// without retrying and without striking `key`.
+  RunReport run(const std::string& key, const std::function<void()>& fn,
+                CancelToken external_cancel = CancelToken());
 
   SupervisorConfig config() const;
   /// Replaces the config and clears strikes + stats (test hook).

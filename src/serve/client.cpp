@@ -1,0 +1,87 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace bd::serve {
+
+std::string Client::request(const std::string& line) const {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("connect(" + socket_path_ +
+                             "): " + std::strerror(err) +
+                             " (is the daemon running?)");
+  }
+
+  const std::string payload = line + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("send(): ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("recv(): ") + std::strerror(err));
+    }
+    if (n == 0) {
+      ::close(fd);
+      throw std::runtime_error("daemon closed the connection mid-response");
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response.substr(0, response.find('\n'));
+}
+
+Json Client::request_json(const std::string& line) const {
+  const std::string response = request(line);
+  Json parsed;
+  std::string error;
+  if (!Json::parse(response, parsed, error)) {
+    throw std::runtime_error("malformed response from daemon: " + error +
+                             " in: " + response);
+  }
+  return parsed;
+}
+
+bool Client::alive() const {
+  try {
+    const Json response = request_json("{\"op\":\"ping\"}");
+    return response.get_bool("ok", false);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace bd::serve

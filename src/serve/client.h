@@ -1,0 +1,34 @@
+// Minimal client for the serve socket: one request line in, one response
+// line out, one connection per call. Backs `bdctl submit` / `bdctl jobs` /
+// the load generator; stateless so concurrent callers never share a fd.
+#pragma once
+
+#include <string>
+
+#include "serve/wire.h"
+
+namespace bd::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  /// Sends `line` (newline appended) and returns the daemon's response
+  /// line. Throws std::runtime_error on connect/send/receive failure —
+  /// i.e. on transport problems; protocol errors come back as normal
+  /// {"ok":false,...} responses.
+  std::string request(const std::string& line) const;
+
+  /// request() + parse; throws std::runtime_error when the response is not
+  /// valid JSON (a daemon bug, not a client mistake).
+  Json request_json(const std::string& line) const;
+
+  /// True when a daemon answers {"op":"ping"} on the socket.
+  bool alive() const;
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace bd::serve

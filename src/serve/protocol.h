@@ -1,0 +1,52 @@
+// The serve request protocol, independent of any transport: one JSON
+// request object in, one JSON response line out.
+//
+// Requests:  {"op":"submit","tenant":"t","job":{...}}
+//            {"op":"status","id":"j000001"}      {"op":"jobs","tenant":"t"?}
+//            {"op":"cancel","id":"j000001"}      {"op":"stats"}
+//            {"op":"ping"}                       {"op":"shutdown"}
+// Responses: {"ok":true, ...} on success, else
+//            {"ok":false,"error":"<code>","message":"<detail>"} with codes
+//            bad_json | oversized_request | bad_request | unknown_op |
+//            unknown_job | quota_exceeded | queue_full | closed |
+//            not_cancellable.
+//
+// Every malformed, oversized or otherwise hostile line maps to a
+// structured error response — nothing a client sends can crash the daemon
+// or tear another tenant's job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/service.h"
+
+namespace bd::serve {
+
+struct ProtocolResult {
+  std::string response;  // one JSON line, no trailing newline
+  bool shutdown = false;  // the request asked the daemon to exit
+};
+
+class Protocol {
+ public:
+  /// Longest request line accepted; longer input is rejected with an
+  /// `oversized_request` error before any parsing happens.
+  static constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+  explicit Protocol(SanitizeService& service) : service_(service) {}
+
+  /// Handles one request line (without its trailing newline). Never
+  /// throws; every failure becomes a structured error response.
+  ProtocolResult handle_line(const std::string& line);
+
+ private:
+  SanitizeService& service_;
+};
+
+/// {"ok":false,"error":code,"message":message} — shared with the server's
+/// transport-level failures (e.g. a line that arrives over the limit).
+std::string protocol_error(const std::string& code,
+                           const std::string& message);
+
+}  // namespace bd::serve

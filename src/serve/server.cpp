@@ -1,0 +1,157 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace bd::serve {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(const ServerConfig& config)
+    : config_(config), service_(config.service), protocol_(service_) {}
+
+SocketServer::~SocketServer() {
+  request_stop();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::close_listener() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void SocketServer::request_stop() {
+  stop_.store(true);
+  close_listener();
+}
+
+void SocketServer::run() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(config_.socket_path.c_str());  // stale socket from a prior run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("bind(" + config_.socket_path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("listen(): ") + std::strerror(err));
+  }
+  listen_fd_.store(fd);
+
+  service_.start();
+  BD_LOG(Info) << "serve: listening on " << config_.socket_path;
+
+  while (!stop_.load()) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (stop_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed under us
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, conn] { serve_connection(conn); });
+  }
+
+  close_listener();
+  {
+    // Join finished/draining connections before stopping the service so
+    // in-flight submits land in the queue and get drained deterministically.
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      threads.swap(connection_threads_);
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+  service_.stop();
+  ::unlink(config_.socket_path.c_str());
+  BD_LOG(Info) << "serve: shut down cleanly";
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stop_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const ProtocolResult result = protocol_.handle_line(line);
+      if (!send_all(fd, result.response + "\n")) {
+        ::close(fd);
+        return;
+      }
+      if (result.shutdown) {
+        ::close(fd);
+        request_stop();
+        return;
+      }
+    }
+    // Bound the memory a newline-less client can pin: answer with the
+    // structured error and drop the connection.
+    if (buffer.size() > Protocol::kMaxRequestBytes) {
+      send_all(fd, protocol_error("oversized_request",
+                                  "request line exceeds " +
+                                      std::to_string(
+                                          Protocol::kMaxRequestBytes) +
+                                      " bytes") +
+                       "\n");
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace bd::serve

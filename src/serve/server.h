@@ -1,0 +1,63 @@
+// AF_UNIX stream transport for the serve protocol.
+//
+// The daemon listens on a filesystem socket; each connection is served by
+// its own thread speaking newline-delimited JSON (one request line in, one
+// response line out, connection stays open for more). A partial line that
+// grows past the protocol's request limit is answered with a structured
+// `oversized_request` error and the connection is dropped, bounding the
+// memory any client can pin. A `shutdown` request stops the accept loop,
+// drains the queue through the workers and joins everything before run()
+// returns — journaled state makes the next incarnation pick up cleanly.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace bd::serve {
+
+struct ServerConfig {
+  std::string socket_path = "bdserve.sock";
+  ServiceConfig service;
+};
+
+class SocketServer {
+ public:
+  explicit SocketServer(const ServerConfig& config);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds the socket, starts the worker pool and serves until a client
+  /// sends {"op":"shutdown"} (or request_stop() is called). Returns after
+  /// the queue has drained and all threads are joined. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void run();
+
+  /// Asks a running run() to stop accepting and wind down (thread-safe).
+  void request_stop();
+
+  /// The service behind the transport (restart inspection, tests).
+  SanitizeService& service() { return service_; }
+
+ private:
+  void serve_connection(int fd);
+  void close_listener();
+
+  ServerConfig config_;
+  SanitizeService service_;
+  Protocol protocol_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace bd::serve
