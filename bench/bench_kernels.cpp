@@ -9,7 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +17,7 @@
 #include "models/factory.h"
 #include "nn/layers.h"
 #include "obs/obs.h"
+#include "util/atomic_file.h"
 #include "runtime/thread_pool.h"
 #include "tensor/conv.h"
 #include "tensor/ops.h"
@@ -202,8 +203,7 @@ class JsonCollector : public benchmark::BenchmarkReporter {
   }
 
   bool write_json(const std::string& path) const {
-    std::ofstream os(path, std::ios::trunc);
-    if (!os) return false;
+    std::ostringstream os;
     os << "{\"benchmarks\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
@@ -220,7 +220,7 @@ class JsonCollector : public benchmark::BenchmarkReporter {
          << '}';
     }
     os << "\n]}\n";
-    return static_cast<bool>(os);
+    return bd::write_file_atomic(path, os.str());
   }
 
   bool empty() const { return rows_.empty(); }

@@ -16,11 +16,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "robust/supervisor.h"
+#include "util/atomic_file.h"
 #include "runtime/thread_pool.h"
 #include "serve/service.h"
 
@@ -94,8 +95,7 @@ RunResult run_at(std::size_t workers) {
 
 bool write_json(const std::string& path,
                 const std::vector<RunResult>& results) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return false;
+  std::ostringstream os;
   os << "{\"bench\":\"serve\",\"jobs\":" << kJobs
      << ",\"tenants\":" << kTenants << ",\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -110,7 +110,7 @@ bool write_json(const std::string& path,
     os << line;
   }
   os << "\n]}\n";
-  return static_cast<bool>(os);
+  return bd::write_file_atomic(path, os.str());
 }
 
 }  // namespace

@@ -54,9 +54,11 @@ double accuracy(models::Classifier& model, const data::ImageDataset& dataset,
             const auto idx = static_cast<std::size_t>(i);
             if (preds[idx] == batch.labels[idx]) ++local;
           }
+          // bdlint:allow(no-relaxed-atomics): integer count reduction;
+          // parallel_for's join orders the final load below.
           batch_correct.fetch_add(local, std::memory_order_relaxed);
         });
-    correct += batch_correct.load(std::memory_order_relaxed);
+    correct += batch_correct.load(std::memory_order_relaxed);  // bdlint:allow(no-relaxed-atomics)
   }
   return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }

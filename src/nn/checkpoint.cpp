@@ -226,6 +226,8 @@ void save_checkpoint(const Module& module, const std::string& path) {
   // complete new checkpoint even across a power loss mid-commit.
   const std::string tmp = path + ".tmp";
   try {
+    // bdlint:allow(no-naked-ofstream): this IS the atomic writer — the
+    // tmp file below is fsync'd and renamed over the target.
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw std::runtime_error("save_checkpoint: cannot open '" + tmp + "'");

@@ -1,9 +1,10 @@
 #include "obs/metrics.h"
 
+#include "util/atomic_file.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -105,14 +106,14 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -120,14 +121,14 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
   return *slot;
 }
 
 void Registry::write_jsonl(std::ostream& os) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   for (const auto& [name, c] : counters_) {
     os << "{\"type\":\"counter\",\"name\":" << json_string(name)
        << ",\"value\":" << c->value() << "}\n";
@@ -156,14 +157,13 @@ void Registry::write_jsonl(std::ostream& os) const {
 }
 
 bool Registry::write_jsonl_file(const std::string& path) const {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return false;
+  std::ostringstream os;
   write_jsonl(os);
-  return static_cast<bool>(os);
+  return write_file_atomic(path, os.str());
 }
 
 std::string Registry::summary(std::size_t top_k) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   std::ostringstream os;
 
   std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -213,7 +213,7 @@ std::string Registry::summary(std::size_t top_k) const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  std::lock_guard lk(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

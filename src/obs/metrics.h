@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/gate.h"
+#include "runtime/ordered_mutex.h"
 
 namespace bd::obs {
 
@@ -112,7 +113,9 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
+  // Innermost rank: BD_OBS_* instruments fire from under every other
+  // subsystem's lock, and registration never calls back out.
+  mutable runtime::OrderedMutex<runtime::LockRank::kObsRegistry> mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

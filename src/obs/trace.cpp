@@ -1,10 +1,11 @@
 #include "obs/trace.h"
 
+#include "util/atomic_file.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -174,10 +175,9 @@ void write_chrome_trace(std::ostream& os) {
 }
 
 bool write_chrome_trace_file(const std::string& path) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return false;
+  std::ostringstream os;
   write_chrome_trace(os);
-  return static_cast<bool>(os);
+  return write_file_atomic(path, os.str());
 }
 
 namespace {

@@ -79,6 +79,8 @@ class CancelToken {
   /// Stamps "the work is alive" for the watchdog's stall detector.
   void heartbeat() const {
     if (state_ != nullptr) {
+      // bdlint:allow(no-relaxed-atomics): a monotonic liveness timestamp;
+      // the watchdog only compares it against now(), no data rides on it.
       state_->heartbeat_ns.store(detail::cancel_now_ns(),
                                  std::memory_order_relaxed);
     }
@@ -95,6 +97,7 @@ class CancelToken {
 class CancelSource {
  public:
   CancelSource() : state_(std::make_shared<detail::CancelState>()) {
+    // bdlint:allow(no-relaxed-atomics): initial heartbeat stamp (see above).
     state_->heartbeat_ns.store(detail::cancel_now_ns(),
                                std::memory_order_relaxed);
   }
@@ -116,7 +119,7 @@ class CancelSource {
 
   /// Seconds since the most recent heartbeat (or since construction).
   double heartbeat_age_seconds() const {
-    const std::uint64_t last =
+    const std::uint64_t last =  // bdlint:allow(no-relaxed-atomics)
         state_->heartbeat_ns.load(std::memory_order_relaxed);
     return static_cast<double>(detail::cancel_now_ns() - last) * 1e-9;
   }

@@ -1,5 +1,7 @@
 #include "robust/supervisor.h"
 
+#include "runtime/ordered_mutex.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -46,7 +48,7 @@ class Watchdog {
 
   ~Watchdog() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard lock(mutex_);
       done_ = true;
     }
     cv_.notify_all();
@@ -75,7 +77,7 @@ class Watchdog {
                   250LL))
             : std::chrono::milliseconds(50);
 
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock lock(mutex_);
     while (!done_) {
       cv_.wait_for(lock, interval);
       if (done_) return;
@@ -108,8 +110,8 @@ class Watchdog {
   const CancelToken external_;
   const std::chrono::steady_clock::time_point start_;
   std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  runtime::OrderedMutex<runtime::LockRank::kSupervisorWatchdog> mutex_;
+  std::condition_variable_any cv_;
   bool done_ = false;
 };
 
@@ -173,12 +175,12 @@ Supervisor& Supervisor::instance() {
 }
 
 SupervisorConfig Supervisor::config() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return config_;
 }
 
 void Supervisor::configure(const SupervisorConfig& config) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   config_ = config;
   stats_ = SupervisorStats{};
   strikes_.clear();
@@ -186,26 +188,26 @@ void Supervisor::configure(const SupervisorConfig& config) {
 }
 
 void Supervisor::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   stats_ = SupervisorStats{};
   strikes_.clear();
   last_failure_.clear();
 }
 
 bool Supervisor::quarantined(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = strikes_.find(key);
   return it != strikes_.end() && it->second >= config_.quarantine_strikes;
 }
 
 int Supervisor::strikes(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = strikes_.find(key);
   return it == strikes_.end() ? 0 : it->second;
 }
 
 SupervisorStats Supervisor::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return stats_;
 }
 
@@ -214,7 +216,7 @@ RunReport Supervisor::run(const std::string& key,
                           CancelToken external_cancel) {
   SupervisorConfig config;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     config = config_;
     const auto it = strikes_.find(key);
     if (it != strikes_.end() && it->second >= config_.quarantine_strikes) {
@@ -246,7 +248,7 @@ RunReport Supervisor::run(const std::string& key,
           std::pow(config.backoff_factor, static_cast<double>(attempt - 2));
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard lock(mutex_);
         ++stats_.retries;
       }
       BD_OBS_COUNT("supervisor.retries", 1);
@@ -267,7 +269,7 @@ RunReport Supervisor::run(const std::string& key,
       fn();
       report.status = RunStatus::kOk;
       report.failure.clear();
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard lock(mutex_);
       strikes_.erase(key);
       last_failure_.erase(key);
       return report;
@@ -283,14 +285,14 @@ RunReport Supervisor::run(const std::string& key,
         break;
       }
       report.timed_out = true;
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard lock(mutex_);
       ++stats_.timeouts;
       BD_OBS_COUNT("supervisor.timeouts", 1);
     } catch (const std::exception& e) {
       report.failure = e.what();
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const int strikes = ++strikes_[key];
     last_failure_[key] = report.failure;
     if (strikes >= config.quarantine_strikes) {
@@ -305,7 +307,7 @@ RunReport Supervisor::run(const std::string& key,
 
   report.status = RunStatus::kFailed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (report.externally_cancelled) {
       ++stats_.cancelled;
     } else {

@@ -36,6 +36,7 @@
 #include <string>
 
 #include "robust/cancel.h"
+#include "runtime/ordered_mutex.h"
 
 namespace bd::robust {
 
@@ -116,7 +117,7 @@ class Supervisor {
   SupervisorStats stats() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable runtime::OrderedMutex<runtime::LockRank::kSupervisor> mutex_;
   SupervisorConfig config_;
   SupervisorStats stats_;
   std::map<std::string, int> strikes_;

@@ -5,6 +5,10 @@
 #include "obs/obs.h"
 #include "util/env.h"
 
+// bdlint:allow-file(no-relaxed-atomics): chunk distribution counters need
+// no ordering of their own — publication of job fields and chunk results
+// is ordered by mutex_ and the acq_rel done_chunks_ handshake below.
+
 namespace bd::runtime {
 
 namespace {
@@ -37,7 +41,7 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    std::lock_guard lk(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -48,7 +52,7 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mutex_);
+      std::unique_lock lk(mutex_);
       cv_start_.wait(lk, [&] { return stop_ || job_seq_ != seen; });
       if (stop_) return;
       seen = job_seq_;
@@ -56,7 +60,7 @@ void ThreadPool::worker_loop() {
     }
     run_chunks();
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      std::lock_guard lk(mutex_);
       --active_;
     }
     cv_done_.notify_all();
@@ -75,7 +79,7 @@ void ThreadPool::run_chunks() {
         fn_(ctx_, lo, hi);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lk(error_mutex_);
+          std::lock_guard lk(error_mutex_);
           if (!error_) error_ = std::current_exception();
         }
         failed_.store(true, std::memory_order_relaxed);
@@ -95,11 +99,11 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     return;
   }
 
-  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  std::lock_guard job_lock(job_mutex_);
   {
     // Wait until no straggler from a previous job is still inside
     // run_chunks before mutating the (non-atomic) job fields.
-    std::unique_lock<std::mutex> lk(mutex_);
+    std::unique_lock lk(mutex_);
     cv_done_.wait(lk, [&] { return active_ == 0; });
     fn_ = fn;
     ctx_ = ctx;
@@ -117,7 +121,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   cv_start_.notify_all();
   run_chunks();
   {
-    std::unique_lock<std::mutex> lk(mutex_);
+    std::unique_lock lk(mutex_);
     --active_;
     cv_done_.wait(lk, [&] {
       return done_chunks_.load(std::memory_order_acquire) == num_chunks_;
@@ -133,7 +137,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
 
 namespace {
 
-std::mutex g_pool_mutex;
+OrderedMutex<LockRank::kPoolRegistry> g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool;
 int g_override = 0;  // 0 = no override, use the environment default
 
@@ -152,12 +156,12 @@ ThreadPool* pool_locked() {
 }  // namespace
 
 int thread_count() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  std::lock_guard lk(g_pool_mutex);
   return desired_threads_locked();
 }
 
 void set_thread_count(int n) {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  std::lock_guard lk(g_pool_mutex);
   g_override = n > 0 ? n : 0;
   g_pool.reset();  // rebuilt lazily by the next parallel_for
 }
@@ -182,7 +186,7 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end,
   }
   ThreadPool* pool;
   {
-    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    std::lock_guard lk(g_pool_mutex);
     pool = pool_locked();
   }
   pool->parallel_for(begin, end, grain, fn, ctx);

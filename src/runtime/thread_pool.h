@@ -29,6 +29,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/ordered_mutex.h"
+
 namespace bd::runtime {
 
 /// Chunk body: processes [chunk_begin, chunk_end) with `ctx` as closure state.
@@ -59,13 +61,14 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Serializes concurrent parallel_for callers (one job at a time).
-  std::mutex job_mutex_;
+  OrderedMutex<LockRank::kPoolJob> job_mutex_;
 
   // Job state; mutated only under mutex_ while no thread is inside
-  // run_chunks (active_ == 0).
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  // run_chunks (active_ == 0). condition_variable_any because the mutex is
+  // rank-checked (see runtime/ordered_mutex.h).
+  OrderedMutex<LockRank::kPoolState> mutex_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable_any cv_done_;
   bool stop_ = false;
   std::uint64_t job_seq_ = 0;
   int active_ = 0;
@@ -80,7 +83,7 @@ class ThreadPool {
   std::atomic<std::int64_t> done_chunks_{0};
   std::atomic<bool> failed_{false};
   std::exception_ptr error_;
-  std::mutex error_mutex_;
+  OrderedMutex<LockRank::kPoolError> error_mutex_;
 };
 
 /// Effective thread count (override, else BDPROTO_THREADS, else hardware).

@@ -18,7 +18,7 @@ BackboneCache::Lookup BackboneCache::get_or_build(const std::string& key,
   std::promise<BackbonePtr> promise;
   bool is_builder = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.second);
@@ -57,14 +57,14 @@ BackboneCache::Lookup BackboneCache::get_or_build(const std::string& key,
   try {
     built = build();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     promise.set_exception(std::current_exception());
     in_flight_.erase(key);
     throw;
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     promise.set_value(built);
     in_flight_.erase(key);
     lru_.push_front(key);
@@ -84,7 +84,7 @@ BackboneCache::Lookup BackboneCache::get_or_build(const std::string& key,
 }
 
 BackboneCacheStats BackboneCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return stats_;
 }
 

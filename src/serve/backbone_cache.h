@@ -22,6 +22,7 @@
 #include <mutex>
 
 #include "eval/runner.h"
+#include "runtime/ordered_mutex.h"
 
 namespace bd::serve {
 
@@ -59,7 +60,7 @@ class BackboneCache {
  private:
   using LruList = std::list<std::string>;  // front = most recently used
 
-  mutable std::mutex mutex_;
+  mutable runtime::OrderedMutex<runtime::LockRank::kServeBackboneCache> mutex_;
   const std::size_t capacity_;
   LruList lru_;
   std::map<std::string, std::pair<BackbonePtr, LruList::iterator>> entries_;

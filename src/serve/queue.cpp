@@ -19,7 +19,7 @@ FairQueue::FairQueue(std::size_t capacity, std::size_t tenant_quota)
 Admission FairQueue::push(const std::string& tenant,
                           const std::string& job_id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (closed_) return Admission::kClosed;
     if (depth_ >= capacity_) return Admission::kQueueFull;
     if (in_flight_[tenant] >= quota_) return Admission::kQuotaExceeded;
@@ -32,7 +32,7 @@ Admission FairQueue::push(const std::string& tenant,
 }
 
 bool FairQueue::pop(std::string& tenant, std::string& job_id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   cv_.wait(lock, [this] { return depth_ > 0 || closed_; });
   if (depth_ == 0) return false;  // closed and drained
 
@@ -54,7 +54,7 @@ bool FairQueue::pop(std::string& tenant, std::string& job_id) {
 }
 
 bool FairQueue::remove(const std::string& job_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   for (auto it = queued_.begin(); it != queued_.end(); ++it) {
     auto& ids = it->second;
     for (auto id = ids.begin(); id != ids.end(); ++id) {
@@ -74,7 +74,7 @@ bool FairQueue::remove(const std::string& job_id) {
 }
 
 void FairQueue::release(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = in_flight_.find(tenant);
   if (it != in_flight_.end() && it->second > 0) {
     --it->second;
@@ -83,24 +83,24 @@ void FairQueue::release(const std::string& tenant) {
 }
 
 std::size_t FairQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return depth_;
 }
 
 std::size_t FairQueue::in_flight(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = in_flight_.find(tenant);
   return it == in_flight_.end() ? 0 : it->second;
 }
 
 std::map<std::string, std::size_t> FairQueue::in_flight_by_tenant() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return in_flight_;
 }
 
 void FairQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();

@@ -21,6 +21,8 @@
 #include <mutex>
 #include <string>
 
+#include "runtime/ordered_mutex.h"
+
 namespace bd::serve {
 
 enum class Admission { kAdmitted, kQueueFull, kQuotaExceeded, kClosed };
@@ -54,8 +56,8 @@ class FairQueue {
   void close();
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable runtime::OrderedMutex<runtime::LockRank::kServeQueue> mutex_;
+  std::condition_variable_any cv_;
   const std::size_t capacity_;
   const std::size_t quota_;
   bool closed_ = false;

@@ -33,7 +33,7 @@ SocketServer::~SocketServer() {
   request_stop();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    std::lock_guard lock(threads_mutex_);
     threads.swap(connection_threads_);
   }
   for (auto& t : threads) {
@@ -91,7 +91,7 @@ void SocketServer::run() {
       if (errno == EINTR) continue;
       break;  // listener closed under us
     }
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    std::lock_guard lock(threads_mutex_);
     connection_threads_.emplace_back(
         [this, conn] { serve_connection(conn); });
   }
@@ -102,7 +102,7 @@ void SocketServer::run() {
     // in-flight submits land in the queue and get drained deterministically.
     std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      std::lock_guard lock(threads_mutex_);
       threads.swap(connection_threads_);
     }
     for (auto& t : threads) {

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/ordered_mutex.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 
@@ -56,7 +57,7 @@ class SocketServer {
   Protocol protocol_;
   std::atomic<bool> stop_{false};
   std::atomic<int> listen_fd_{-1};
-  std::mutex threads_mutex_;
+  runtime::OrderedMutex<runtime::LockRank::kServeServer> threads_mutex_;
   std::vector<std::thread> connection_threads_;
 };
 

@@ -84,7 +84,7 @@ void SanitizeService::load_journal() {
 }
 
 void SanitizeService::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   if (started_ || stopped_) return;
   started_ = true;
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -97,7 +97,7 @@ SubmitResult SanitizeService::submit(const JobSpec& spec) {
   // Throws BadRequest for an unreadable/corrupt model_path checkpoint.
   const std::string cache_key = backbone_cache_key(spec);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   if (stopped_) return {Admission::kClosed, ""};
   const std::string id = format_job_id(next_id_);
   const Admission admission = queue_.push(spec.tenant, id);
@@ -121,7 +121,7 @@ SubmitResult SanitizeService::submit(const JobSpec& spec) {
 }
 
 CancelOutcome SanitizeService::cancel(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end()) return CancelOutcome::kUnknownJob;
   JobRecord& rec = it->second;
@@ -144,7 +144,7 @@ CancelOutcome SanitizeService::cancel(const std::string& id) {
 }
 
 bool SanitizeService::status(const std::string& id, JobRecord& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   out = it->second;
@@ -152,7 +152,7 @@ bool SanitizeService::status(const std::string& id, JobRecord& out) const {
 }
 
 std::vector<JobRecord> SanitizeService::jobs(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<JobRecord> out;
   out.reserve(records_.size());
   for (const auto& [id, rec] : records_) {
@@ -164,7 +164,7 @@ std::vector<JobRecord> SanitizeService::jobs(const std::string& tenant) const {
 
 bool SanitizeService::wait(const std::string& id,
                            double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   if (records_.find(id) == records_.end()) return false;
   const auto pred = [&] {
     const auto it = records_.find(id);
@@ -179,7 +179,7 @@ bool SanitizeService::wait(const std::string& id,
 }
 
 void SanitizeService::drain() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   terminal_cv_.wait(lock, [this] {
     for (const auto& [id, rec] : records_) {
       if (!job_state_terminal(rec.state)) return false;
@@ -190,7 +190,7 @@ void SanitizeService::drain() const {
 
 void SanitizeService::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -204,7 +204,7 @@ void SanitizeService::stop() {
 ServiceStats SanitizeService::stats() const {
   ServiceStats out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     out = counters_;
     out.running = running_;
   }
@@ -233,7 +233,7 @@ void SanitizeService::process_job(const std::string& id) {
   std::string cache_key;
   robust::CancelToken token;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = records_.find(id);
     if (it == records_.end() || it->second.state != JobState::kQueued) return;
     JobRecord& rec = it->second;
@@ -304,7 +304,7 @@ void SanitizeService::process_job(const std::string& id) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = records_.find(id);
     if (it == records_.end()) return;
     JobRecord& rec = it->second;

@@ -32,6 +32,7 @@
 #include "serve/backbone_cache.h"
 #include "serve/job.h"
 #include "serve/queue.h"
+#include "runtime/ordered_mutex.h"
 
 namespace bd::serve {
 
@@ -126,8 +127,8 @@ class SanitizeService {
   BackboneCache cache_;
   robust::RunJournal journal_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable terminal_cv_;
+  mutable runtime::OrderedMutex<runtime::LockRank::kServeService> mutex_;
+  mutable std::condition_variable_any terminal_cv_;
   std::map<std::string, JobRecord> records_;  // id -> latest state
   std::map<std::string, robust::CancelSource> cancels_;
   std::uint64_t next_id_ = 1;

@@ -302,7 +302,14 @@ JsonObject& JsonObject::raw_value(const std::string& key,
 }
 
 JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
-  return raw_value(key, "\"" + json_escape(value) + "\"");
+  // Built piecewise: `"\"" + json_escape(v) + "\""` trips GCC 12's
+  // -Wrestrict false positive (PR 105651) under -Werror.
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += json_escape(value);
+  quoted += '"';
+  return raw_value(key, quoted);
 }
 
 JsonObject& JsonObject::set(const std::string& key, const char* value) {

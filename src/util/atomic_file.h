@@ -1,0 +1,19 @@
+// Atomic whole-file writes: temp file in the target's directory, flushed,
+// then renamed over the destination. A reader (or a crash) never observes
+// a half-written file — the same tmp+rename discipline checkpoint v2 uses,
+// packaged for every exporter that dumps a report in one shot.
+//
+// This helper (plus the checkpoint writer and the append-only run journal
+// in robust/) is the only sanctioned way to open an output file; the
+// `no-naked-ofstream` bdlint rule enforces that outside util/ and robust/.
+#pragma once
+
+#include <string>
+
+namespace bd {
+
+/// Writes `content` to `path` atomically. Returns false on any I/O error;
+/// the destination is left untouched and the temp file is removed.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace bd

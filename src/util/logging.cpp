@@ -36,10 +36,12 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
+// bdlint:allow(no-relaxed-atomics): the level is an independent flag;
+// no other data is published through it.
 LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) {
-  level_storage().store(level, std::memory_order_relaxed);
+  level_storage().store(level, std::memory_order_relaxed);  // bdlint:allow(no-relaxed-atomics)
 }
 
 namespace detail {

@@ -1,0 +1,11 @@
+// Fixture: manual lock()/unlock() member calls instead of a RAII guard.
+#include <mutex>
+
+std::mutex g_mutex;
+int g_counter = 0;
+
+void bump() {
+  g_mutex.lock();
+  ++g_counter;
+  g_mutex.unlock();
+}

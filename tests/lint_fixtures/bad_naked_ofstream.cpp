@@ -1,0 +1,13 @@
+// Fixture: raw output file outside the atomic-write helpers — a crash
+// mid-write leaves a torn file.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+bool dump(const std::string& path) {
+  std::ofstream os(path);
+  os << "{}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) std::fclose(f);
+  return static_cast<bool>(os);
+}

@@ -1,0 +1,17 @@
+// Fixture: every banned entropy/wall-clock source in code claiming to be
+// part of the deterministic engine (path does not hit a whitelist).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int hidden_entropy() {
+  std::srand(42);
+  int x = std::rand();
+  std::random_device rd;
+  x += static_cast<int>(rd());
+  x += static_cast<int>(std::time(nullptr));
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return x;
+}

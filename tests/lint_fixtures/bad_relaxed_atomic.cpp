@@ -1,0 +1,7 @@
+// Fixture: memory_order_relaxed outside the sanctioned src/obs/ hot path.
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+void publish() { g_flag.store(1, std::memory_order_relaxed); }
+int observe() { return g_flag.load(std::memory_order_relaxed); }

@@ -1,0 +1,10 @@
+// Fixture: catch (...) that neither rethrows, captures, nor logs.
+int risky();
+
+int swallow() {
+  try {
+    return risky();
+  } catch (...) {
+  }
+  return -1;
+}

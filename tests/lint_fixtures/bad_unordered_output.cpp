@@ -1,0 +1,11 @@
+// Fixture: hash-order iteration feeding an output sink — the emitted
+// report differs run to run.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+void emit(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, value] : counts) {
+    std::cout << name << "=" << value << "\n";
+  }
+}

@@ -1,0 +1,46 @@
+// Fixture: idiomatic code that every rule must stay silent on — RAII
+// guards, seeded engines, steady_clock, ordered emission, logged catch.
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+std::mutex g_mutex;
+int g_counter = 0;
+
+void bump() {
+  std::lock_guard lk(g_mutex);
+  ++g_counter;
+}
+
+int seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  return static_cast<int>(engine() & 0xff);
+}
+
+long long elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void emit_sorted(const std::unordered_map<std::string, int>& counts) {
+  std::map<std::string, int> ordered(counts.begin(), counts.end());
+  for (const auto& [name, value] : ordered) {
+    std::cout << name << "=" << value << "\n";
+  }
+}
+
+int risky();
+
+int logged() {
+  try {
+    return risky();
+  } catch (...) {
+    std::cerr << "risky() threw; rethrowing\n";
+    throw;
+  }
+}

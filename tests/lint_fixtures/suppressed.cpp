@@ -1,0 +1,40 @@
+// Fixture: findings silenced through every suppression spelling bdlint
+// supports — same line, line above, a multi-line comment block above a
+// statement, and a whole-file allow.
+//
+// bdlint:allow-file(no-unordered-iteration-to-output): this fixture
+// verifies whole-file suppression.
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+std::mutex g_mutex;
+std::atomic<int> g_flag{0};
+
+void same_line() {
+  g_mutex.lock();  // bdlint:allow(no-naked-lock)
+  g_mutex.unlock();  // bdlint:allow(no-naked-lock)
+}
+
+void line_above() {
+  // bdlint:allow(no-nondeterminism)
+  int x = std::rand();
+  (void)x;
+}
+
+void comment_block() {
+  // bdlint:allow(no-relaxed-atomics): a justification that spans more
+  // than one comment line still reaches the statement below, including
+  // its continuation lines.
+  g_flag.store(1,
+               std::memory_order_relaxed);
+}
+
+void whole_file(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, value] : counts) {
+    std::cout << name << "=" << value << "\n";
+  }
+}

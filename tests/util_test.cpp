@@ -151,7 +151,7 @@ TEST(Stopwatch, MonotoneAndResettable) {
   Stopwatch watch;
   const double t1 = watch.seconds();
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   const double t2 = watch.seconds();
   EXPECT_GE(t2, t1);
   EXPECT_GE(watch.milliseconds(), t2 * 1e3 * 0.5);

@@ -1,0 +1,57 @@
+// bdlint CLI — lints the repo's invariant-bearing trees and exits nonzero
+// when any finding survives suppression. CI runs `bdlint` from the repo
+// root; developers can lint a subtree or a single file:
+//
+//   bdlint                         # lint src/ examples/ bench/
+//   bdlint --root src/serve        # one subtree
+//   bdlint src/serve/service.cpp   # specific files
+//   bdlint --list-rules            # the rule catalog
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage(int code) {
+  std::cerr << "usage: bdlint [--list-rules] [--root <dir>]... [file...]\n"
+            << "default roots: src examples bench\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : bd::lint::rule_catalog()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(2);
+      roots.push_back(argv[++i]);
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg.rfind("--", 0) == 0) return usage(2);
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "examples", "bench"};
+
+  const std::vector<bd::lint::Finding> findings = bd::lint::lint_tree(roots);
+  for (const auto& finding : findings) {
+    std::cout << bd::lint::format_finding(finding) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "bdlint: clean\n";
+    return 0;
+  }
+  std::cout << "bdlint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
