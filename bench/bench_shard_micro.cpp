@@ -1,0 +1,32 @@
+// Micro-scale table bench for exercising the sharded-execution path
+// (src/shard/) end to end in seconds rather than minutes: one attack,
+// three defenses, two SPC settings, one trial. The scale is pinned inline
+// (BDPROTO_MODE is ignored) so the merged output is byte-identical across
+// machines, worker counts, and crash/steal schedules — CI diffs it.
+#include "eval/table_bench.h"
+
+int main() {
+  bd::eval::ExperimentScale scale;
+  scale.data.height = scale.data.width = 8;
+  scale.data.train_per_class = 8;
+  scale.data.test_per_class = 2;
+  scale.attack_train.epochs = 1;
+  scale.base_width = 8;
+  scale.spc_settings = {2, 5};
+  scale.trials = 1;
+  scale.defense_max_epochs = 2;
+  scale.prune_max_rounds = 3;
+  scale.anp_iterations = 2;
+  scale.nad_teacher_epochs = 1;
+  scale.nad_distill_epochs = 1;
+
+  bd::eval::TableSpec spec;
+  spec.title = "Shard micro-table: synthetic CIFAR-10, PreActResNet";
+  spec.dataset = "cifar";
+  spec.arch = "preactresnet";
+  spec.attacks = {"badnet"};
+  spec.defenses = {"ft", "clp", "gradprune"};
+  spec.scale = scale;
+  bd::eval::run_table(spec);
+  return 0;
+}

@@ -34,6 +34,8 @@
 #include "serve/client.h"
 #include "serve/job.h"
 #include "serve/server.h"
+#include "shard/coordinator.h"
+#include "shard/ledger.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -71,7 +73,7 @@ Args parse_args(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: bdctl <train-backdoor|evaluate|defend|verify|profile|"
-               "serve|submit|jobs|cancel|shutdown|loadgen> [flags]\n"
+               "serve|submit|jobs|cancel|shutdown|loadgen|shard> [flags]\n"
                "  common   : --attack badnet|blended|lf|bpp|dynamic\n"
                "             --arch preactresnet|vgg|efficientnet|mobilenet\n"
                "             --dataset cifar|gtsrb  --seed N  --width N\n"
@@ -85,6 +87,10 @@ int usage() {
                "             bdctl verify <journal>  (run-journal summary: "
                "entries, retries,\n"
                "             degraded cells with failure reasons)\n"
+               "             bdctl verify <ledger>  (lease-ledger summary: "
+               "per-worker cell\n"
+               "             counts, steals, expired leases, orphaned "
+               "cells)\n"
                "  profile  : --defense NAME --spc N --epochs N --rounds N "
                "--topk N\n"
                "             runs an instrumented attack+defense workload and "
@@ -107,7 +113,16 @@ int usage() {
                "  cancel   : --socket PATH --id jNNNNNN\n"
                "  shutdown : --socket PATH\n"
                "  loadgen  : --socket PATH --jobs N --tenants K [--distinct "
-               "D] [job flags]\n");
+               "D] [job flags]\n"
+               "  shard    : bdctl shard run --workers N [--journal J] "
+               "[--ledger L]\n"
+               "             [--ttl SECS] [--out MERGED] [--resume 0|1]\n"
+               "             [--worker-faults IDX:SPEC]... -- <bench "
+               "command...>\n"
+               "             runs the bench command as N shard workers over "
+               "a crash-\n"
+               "             resilient lease ledger, then merges the journal "
+               "into one table\n");
   return 2;
 }
 
@@ -160,12 +175,84 @@ int cmd_verify_journal(const std::string& path) {
   }
 }
 
+/// `bdctl verify <ledger>`: replays a shard lease ledger and summarizes
+/// the fleet's history — per-worker claim/done counts, steals, abandons,
+/// plus every lease still outstanding (live, expired, or orphaned). The
+/// lease TTL for expiry classification comes from BDPROTO_SHARD_TTL
+/// (default 5s), matching what the workers ran with.
+int cmd_verify_ledger(const std::string& path) {
+  try {
+    const shard::LedgerInspection inspection = shard::inspect_ledger(path);
+    const auto ttl_ms = static_cast<std::int64_t>(
+        env_double("BDPROTO_SHARD_TTL").value_or(5.0) * 1000.0);
+    const std::int64_t now = shard::now_ms();
+    const shard::LedgerSummary s = inspection.table.summarize(now, ttl_ms);
+    std::printf("%s: lease ledger, %zu records, cells=%zu done=%zu "
+                "leased=%zu expired=%zu steals=%zu abandons=%zu "
+                "heartbeats=%zu\n",
+                path.c_str(), inspection.records, s.cells, s.done, s.leased,
+                s.expired, s.steals, s.abandons, s.heartbeats);
+    for (const auto& [worker, claims] : s.claims_by_worker) {
+      const auto done = s.done_by_worker.find(worker);
+      std::printf("  %s: claims=%lld done=%lld\n", worker.c_str(),
+                  static_cast<long long>(claims),
+                  static_cast<long long>(
+                      done == s.done_by_worker.end() ? 0 : done->second));
+    }
+    std::size_t orphaned = 0;
+    for (const auto& [key, state] : inspection.table.states()) {
+      if (state.phase == shard::LeaseState::Phase::kLeased) {
+        std::printf("  %s lease on %s held by %s\n",
+                    state.expired(now, ttl_ms) ? "expired" : "live",
+                    key.c_str(), state.holder.c_str());
+      } else if (state.phase == shard::LeaseState::Phase::kOpen &&
+                 state.claims > 0) {
+        // Claimed at least once but neither finished nor currently held:
+        // every holder died or abandoned, and no worker picked it back up.
+        ++orphaned;
+        std::printf("  orphaned cell %s (last holder %s, %d lost leases)\n",
+                    key.c_str(), state.holder.c_str(),
+                    state.steals + state.abandons);
+      }
+    }
+    if (inspection.malformed > 0) {
+      std::printf("  %zu malformed line(s) skipped (torn tails fused with "
+                  "later appends)\n",
+                  inspection.malformed);
+    }
+    if (inspection.torn_tail) {
+      std::printf("  torn final line tolerated (a writer died mid-append)\n");
+    }
+    if (s.leased > 0 || orphaned > 0) {
+      std::printf("OK (%zu lease(s) outstanding, %zu orphaned)\n", s.leased,
+                  orphaned);
+    } else {
+      std::printf("OK\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bdctl verify: CORRUPT: %s\n", e.what());
+    return 1;
+  }
+}
+
 /// `bdctl verify <checkpoint>`: full integrity check + state-dict summary.
-/// Journals (first byte '{') are dispatched to the journal summary above.
+/// JSONL files (first byte '{') are dispatched by their field grammar:
+/// lease ledgers carry "op" in every record, run journals never do.
 int cmd_verify(const std::string& path) {
   {
     std::ifstream probe(path, std::ios::binary);
-    if (probe && probe.peek() == '{') return cmd_verify_journal(path);
+    if (probe && probe.peek() == '{') {
+      std::string first;
+      std::getline(probe, first);
+      std::string key;
+      robust::JournalFields fields;
+      if (robust::parse_journal_line(first, key, fields) &&
+          fields.count("op") != 0) {
+        return cmd_verify_ledger(path);
+      }
+      return cmd_verify_journal(path);
+    }
   }
   try {
     const nn::CheckpointInfo info = nn::inspect_checkpoint(path);
@@ -604,6 +691,64 @@ int cmd_loadgen(const Args& args) {
   return 0;
 }
 
+/// `bdctl shard run ... -- <bench command>`: parsed by hand because the
+/// trailing `--` introduces a free-form argv the flag grammar must not
+/// swallow.
+int cmd_shard(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[2], "run") != 0) return usage();
+  shard::CoordinatorOptions options;
+  int i = 3;
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--") {
+      ++i;
+      break;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "bdctl shard run: flag %s needs a value\n",
+                   flag.c_str());
+      return 2;
+    }
+    const std::string value = argv[++i];
+    if (flag == "--workers") {
+      options.workers = static_cast<int>(std::stoll(value));
+    } else if (flag == "--journal") {
+      options.journal_path = value;
+    } else if (flag == "--ledger") {
+      options.ledger_path = value;
+    } else if (flag == "--ttl") {
+      options.lease_ttl_seconds = std::stod(value);
+    } else if (flag == "--out") {
+      options.merged_out = value;
+    } else if (flag == "--resume") {
+      options.resume = std::stoll(value) != 0;
+    } else if (flag == "--worker-faults") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr,
+                     "bdctl shard run: --worker-faults wants IDX:SPEC "
+                     "(e.g. 2:crash_worker@1), got %s\n",
+                     value.c_str());
+        return 2;
+      }
+      options.worker_faults[static_cast<int>(
+          std::stoll(value.substr(0, colon)))] = value.substr(colon + 1);
+    } else {
+      std::fprintf(stderr, "bdctl shard run: unknown flag %s\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) options.command.push_back(argv[i]);
+  if (options.command.empty()) {
+    std::fprintf(stderr,
+                 "bdctl shard run: missing '-- <bench command...>'\n");
+    return 2;
+  }
+  const shard::CoordinatorReport report = shard::run_sharded(options);
+  return report.exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -611,6 +756,9 @@ int main(int argc, char** argv) {
     if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
       if (argc != 3) return usage();
       return cmd_verify(argv[2]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
+      return cmd_shard(argc, argv);
     }
     const Args args = parse_args(argc, argv);
     if (args.command == "train-backdoor") return cmd_train(args);

@@ -175,6 +175,191 @@ SettingResult decode_setting(const robust::JournalFields& f) {
   return s;
 }
 
+/// One (SPC, defense) cell with its pre-drawn seed and journal key.
+struct Cell {
+  std::int64_t spc;
+  std::string defense;
+  std::uint64_t seed;
+  std::string key;
+};
+
+/// Everything one attack contributes to the table, in canonical order.
+struct AttackPlan {
+  std::string attack;
+  std::uint64_t model_seed;
+  std::string base_key;
+  std::vector<Cell> cells;
+};
+
+/// Derives the full cell plan. Seeds are drawn up front in the order an
+/// uninterrupted run would draw them, so skipping completed cells — or
+/// splitting the plan across shard workers — never shifts the seeds of
+/// the remaining ones. Every process running the same spec derives the
+/// identical plan; the keys double as lease-ledger work items.
+std::vector<AttackPlan> build_plan(const TableSpec& spec,
+                                   const ExperimentScale& scale,
+                                   const std::string& sig,
+                                   std::uint64_t seed) {
+  std::vector<AttackPlan> plan;
+  plan.reserve(spec.attacks.size());
+  for (const auto& attack : spec.attacks) {
+    Rng seeder(seed ^ std::hash<std::string>{}(attack + spec.arch));
+    AttackPlan ap;
+    ap.attack = attack;
+    ap.model_seed = seeder.next_u64();
+    for (const auto spc : scale.spc_settings) {
+      for (const auto& defense : spec.defenses) {
+        ap.cells.push_back({spc, defense, seeder.next_u64(),
+                            robust::stable_hash_hex(
+                                "cell|" + sig + '|' + attack + '|' + defense +
+                                '|' + std::to_string(spc))});
+      }
+    }
+    ap.base_key = robust::stable_hash_hex("baseline|" + sig + '|' + attack);
+    plan.push_back(std::move(ap));
+  }
+  return plan;
+}
+
+/// Shard-worker mode: claim plan items through the lease ledger, journal
+/// each result, print worker stats. No table — the coordinator's merge
+/// pass (resume run, sharding off) renders it from the journal.
+TableRun run_table_worker(const TableSpec& spec, const ExperimentScale& scale,
+                          const std::vector<AttackPlan>& plan,
+                          robust::RunJournal& journal,
+                          const shard::ShardConfig& config) {
+  BD_OBS_SPAN("bench.shard_worker");
+  if (!journal.enabled()) {
+    throw std::runtime_error(
+        "shard worker needs a journal (BDPROTO_JOURNAL): cell results must "
+        "be durable for the coordinator's merge pass");
+  }
+  auto& supervisor = robust::Supervisor::instance();
+  const auto record_with_retry = [&](const std::string& key,
+                                     const robust::JournalFields& fields) {
+    const robust::RunReport report = supervisor.run(
+        "journal|" + journal.path(), [&] { journal.record(key, fields); });
+    if (!report.ok()) {
+      throw std::runtime_error("journal '" + journal.path() +
+                               "': append failed permanently: " +
+                               report.failure);
+    }
+  };
+
+  // Canonical work list: the baseline item leads its attack's cells so the
+  // expensive preparation tends to be claimed (and cached) first.
+  struct WorkItem {
+    std::size_t attack;
+    std::size_t cell = 0;
+    bool baseline = false;
+  };
+  std::vector<WorkItem> items;
+  std::vector<std::string> keys;
+  for (std::size_t a = 0; a < plan.size(); ++a) {
+    items.push_back({a, 0, true});
+    keys.push_back(plan[a].base_key);
+    for (std::size_t c = 0; c < plan[a].cells.size(); ++c) {
+      items.push_back({a, c, false});
+      keys.push_back(plan[a].cells[c].key);
+    }
+  }
+
+  // Lazy per-attack preparation, cached for the most recent attack only
+  // (backdoored models are big; canonical claim order keeps switches rare).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t prepared = kNone;
+  std::optional<BackdooredModel> bd;
+  BaselineRecord baseline;
+  const auto prepare = [&](std::size_t a) {
+    if (prepared == a) return;
+    const AttackPlan& ap = plan[a];
+    BD_OBS_SPAN("bench.attack_prepare");
+    const robust::RunReport prep =
+        supervisor.run("prepare|" + ap.attack + "|" + spec.arch, [&] {
+          bd.reset();
+          bd.emplace(prepare_backdoored_model(spec.dataset, spec.arch,
+                                              ap.attack, scale,
+                                              ap.model_seed));
+        });
+    baseline = BaselineRecord{};
+    baseline.attempts = prep.attempts;
+    if (prep.ok()) {
+      baseline.metrics = bd->baseline;
+    } else {
+      bd.reset();
+      baseline.degraded = true;
+      baseline.error = "attack preparation failed: " + prep.failure;
+      BD_LOG(Warn) << ap.attack << ": " << baseline.error;
+    }
+    prepared = a;
+  };
+
+  TableRun run;
+  shard::WorkerSession session(config);
+  const auto run_cell = [&](std::size_t index) {
+    const WorkItem& item = items[index];
+    const AttackPlan& ap = plan[item.attack];
+    if (journal.has(keys[index])) {
+      // Already durable: a resumed run, or a steal from a worker that died
+      // after journaling but before its done record landed.
+      ++run.resumed_cells;
+      return;
+    }
+    prepare(item.attack);
+    if (item.baseline) {
+      record_with_retry(ap.base_key, encode_baseline(ap.attack, baseline));
+      return;
+    }
+    const Cell& cell = ap.cells[item.cell];
+    SettingResult setting;
+    if (!bd.has_value()) {
+      setting.attack = ap.attack;
+      setting.defense = cell.defense;
+      setting.spc = cell.spc;
+      setting.degraded = true;
+      setting.failure = baseline.error;
+    } else {
+      BD_OBS_SPAN_ARG("bench.cell", cell.spc);
+      BD_OBS_COUNT("bench.cells_run", 1);
+      setting = run_setting(*bd, cell.defense, cell.spc, scale, cell.seed);
+    }
+    record_with_retry(cell.key, encode_setting(setting));
+  };
+  const auto quarantine_cell = [&](std::size_t index,
+                                   const std::string& reason) {
+    const WorkItem& item = items[index];
+    const AttackPlan& ap = plan[item.attack];
+    if (journal.has(keys[index])) return;
+    if (item.baseline) {
+      BaselineRecord rec;
+      rec.degraded = true;
+      rec.error = reason;
+      record_with_retry(ap.base_key, encode_baseline(ap.attack, rec));
+      return;
+    }
+    const Cell& cell = ap.cells[item.cell];
+    SettingResult s;
+    s.attack = ap.attack;
+    s.defense = cell.defense;
+    s.spc = cell.spc;
+    s.degraded = true;
+    s.failure = reason;
+    record_with_retry(cell.key, encode_setting(s));
+  };
+
+  const shard::WorkerStats stats =
+      session.run_all(keys, run_cell, quarantine_cell);
+  std::printf("shard worker %s: claimed=%lld stolen=%lld completed=%lld "
+              "quarantined=%lld resumed=%zu\n",
+              config.worker_id.c_str(),
+              static_cast<long long>(stats.claimed),
+              static_cast<long long>(stats.stolen),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.quarantined), run.resumed_cells);
+  run.worker_stats = stats;
+  return run;
+}
+
 }  // namespace
 
 TableRun run_table(const TableSpec& spec) {
@@ -202,6 +387,14 @@ TableRun run_table(const TableSpec& spec) {
                  << journal.size() << " completed cells)";
   }
   const std::string sig = scale_signature(spec, scale);
+  const std::vector<AttackPlan> plan = build_plan(spec, scale, sig, seed);
+
+  const std::optional<shard::ShardConfig> shard_config =
+      spec.shard.has_value() ? spec.shard : shard::shard_config_from_env();
+  if (shard_config.has_value()) {
+    return run_table_worker(spec, scale, plan, journal, *shard_config);
+  }
+
   auto& faults = robust::FaultInjector::instance();
   auto& supervisor = robust::Supervisor::instance();
 
@@ -232,30 +425,11 @@ TableRun run_table(const TableSpec& spec) {
   TextTable table({"Attack", "SPC", "Defense", "ACC", "ASR", "RA"});
   std::vector<std::string> degraded_lines;  // summary printed after the table
 
-  for (const auto& attack : spec.attacks) {
-    Rng seeder(seed ^ std::hash<std::string>{}(attack + spec.arch));
-    const std::uint64_t model_seed = seeder.next_u64();
-
-    // Draw every cell's seed up front in the same order an uninterrupted
-    // run would, so skipping completed cells never shifts the seeds of the
-    // remaining ones.
-    struct Cell {
-      std::int64_t spc;
-      const std::string* defense;
-      std::uint64_t seed;
-      std::string key;
-    };
-    std::vector<Cell> cells;
-    for (const auto spc : scale.spc_settings) {
-      for (const auto& defense : spec.defenses) {
-        cells.push_back({spc, &defense, seeder.next_u64(),
-                         robust::stable_hash_hex("cell|" + sig + '|' + attack +
-                                                 '|' + defense + '|' +
-                                                 std::to_string(spc))});
-      }
-    }
-    const std::string base_key =
-        robust::stable_hash_hex("baseline|" + sig + '|' + attack);
+  for (const AttackPlan& ap : plan) {
+    const std::string& attack = ap.attack;
+    const std::uint64_t model_seed = ap.model_seed;
+    const std::vector<Cell>& cells = ap.cells;
+    const std::string& base_key = ap.base_key;
 
     bool all_cached = resume && journal.has(base_key);
     for (const auto& cell : cells) {
@@ -319,7 +493,7 @@ TableRun run_table(const TableSpec& spec) {
         // The attack preparation degraded permanently: every cell that
         // depends on it inherits the failure instead of running.
         setting.attack = attack;
-        setting.defense = *cell.defense;
+        setting.defense = cell.defense;
         setting.spc = cell.spc;
         setting.degraded = true;
         setting.failure = baseline.error;
@@ -330,7 +504,7 @@ TableRun run_table(const TableSpec& spec) {
         BD_OBS_SPAN_ARG("bench.cell", cell.spc);
         BD_OBS_COUNT("bench.cells_run", 1);
         Stopwatch cell_watch;
-        setting = run_setting(*bd, *cell.defense, cell.spc, scale, cell.seed);
+        setting = run_setting(*bd, cell.defense, cell.spc, scale, cell.seed);
         BD_OBS_OBSERVE("bench.cell_seconds", cell_watch.seconds(),
                        ::bd::obs::seconds_buckets());
         if (journal.enabled()) {
@@ -343,12 +517,12 @@ TableRun run_table(const TableSpec& spec) {
       }
       if (setting.degraded) {
         degraded_lines.push_back(
-            attack + "/" + *cell.defense + "/spc=" +
+            attack + "/" + cell.defense + "/spc=" +
             std::to_string(cell.spc) + ": " + setting.failure +
             " (attempts=" + std::to_string(setting.attempts) + ")");
       }
       table.add_row({attack, std::to_string(cell.spc),
-                     core::defense_display_name(*cell.defense),
+                     core::defense_display_name(cell.defense),
                      setting.degraded ? "degraded"
                                       : mean_std_string(setting.acc),
                      setting.degraded ? "degraded"

@@ -20,6 +20,15 @@
 // config is quarantined — is printed as `degraded` in its metric columns
 // with the failure reason summarized after the table, while every other
 // cell completes; degraded cells journal and resume like healthy ones.
+//
+// Sharded execution: when BDPROTO_SHARD_LEDGER is set (or spec.shard is
+// filled in), this process runs as one worker of a multi-process fleet
+// instead of executing the whole sweep. Every worker derives the identical
+// canonical work list (baseline + cells, pre-drawn seeds), claims items
+// through the crash-resilient lease ledger (shard/ledger.h), journals each
+// result, and prints worker stats instead of the table — the coordinator's
+// merge pass (a plain resume run with sharding off) renders the table,
+// byte-identically to a single-process run.
 #pragma once
 
 #include <optional>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "eval/runner.h"
+#include "shard/worker.h"
 
 namespace bd::eval {
 
@@ -45,6 +55,9 @@ struct TableSpec {
   std::optional<bool> resume;
   /// Scale override for tests; unset uses default_scale(dataset).
   std::optional<ExperimentScale> scale;
+  /// Run as a shard worker with this config; unset defers to the
+  /// BDPROTO_SHARD_* env (shard::shard_config_from_env()).
+  std::optional<shard::ShardConfig> shard;
 };
 
 struct TableRun {
@@ -52,6 +65,9 @@ struct TableRun {
   std::vector<std::pair<std::string, BackdoorMetrics>> baselines;
   std::size_t resumed_cells = 0;   // cells restored from the journal
   std::size_t degraded_cells = 0;  // cells (incl. baselines) that failed
+  /// Set in shard-worker mode (settings/baselines stay empty there: the
+  /// results live in the journal for the coordinator's merge pass).
+  std::optional<shard::WorkerStats> worker_stats;
 };
 
 /// Runs the sweep and prints the table (and scatter series) to stdout.

@@ -1,5 +1,7 @@
 #include "robust/fault_injector.h"
 
+#include <csignal>
+
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -22,6 +24,7 @@ FaultKind parse_kind(const std::string& name) {
   if (name == "slow_io") return FaultKind::kSlowIo;
   if (name == "torn_write") return FaultKind::kTornWrite;
   if (name == "oom_sim") return FaultKind::kOom;
+  if (name == "crash_worker") return FaultKind::kCrashWorker;
   throw std::invalid_argument("BDPROTO_FAULTS: unknown fault kind '" + name +
                               "'");
 }
@@ -114,6 +117,13 @@ void FaultInjector::fire_oom(const std::string& what) {
   if (fire(FaultKind::kOom)) {
     BD_LOG(Warn) << "fault injector: simulated out-of-memory at " << what;
     throw SimulatedOom();
+  }
+}
+
+void FaultInjector::fire_crash_worker(const std::string& where) {
+  if (fire(FaultKind::kCrashWorker)) {
+    BD_LOG(Warn) << "fault injector: SIGKILLing worker at " << where;
+    ::raise(SIGKILL);  // no unwinding: the lease must expire, not release
   }
 }
 

@@ -21,6 +21,10 @@
 //                 disk (proves the atomic-rename commit protocol)
 //   oom_sim@3     third defense trial throws SimulatedOom (a bad_alloc the
 //                 supervisor treats as retryable)
+//   crash_worker@2  second claimed shard cell SIGKILLs the worker process
+//                 mid-cell — a real kill, not an exception: the claim is
+//                 already durable in the lease ledger, so a surviving
+//                 worker must steal the expired lease (src/shard/)
 //
 // Each site calls the matching fire_*() helper; the injector counts calls
 // per kind and fires at the armed indices. All counters are process-global
@@ -65,6 +69,7 @@ enum class FaultKind {
   kSlowIo,
   kTornWrite,
   kOom,
+  kCrashWorker,
 };
 
 class FaultInjector {
@@ -104,10 +109,15 @@ class FaultInjector {
   /// fire(kOom), throwing SimulatedOom if armed (`what` is logged).
   void fire_oom(const std::string& what);
 
+  /// fire(kCrashWorker): if armed, SIGKILLs the current process (no
+  /// destructors, no flushes) — the honest model of a worker dying
+  /// mid-cell. Never returns when it fires.
+  void fire_crash_worker(const std::string& where);
+
  private:
   FaultInjector();
 
-  static constexpr int kKinds = 8;
+  static constexpr int kKinds = 9;
 
   mutable std::mutex mutex_;
   std::set<std::int64_t> triggers_[kKinds];  // armed occurrences per kind

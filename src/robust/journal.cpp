@@ -1,11 +1,17 @@
 #include "robust/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "robust/fault_injector.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace bd::robust {
@@ -97,6 +103,59 @@ class LineParser {
 
 }  // namespace
 
+std::string encode_journal_line(const std::string& key,
+                                const JournalFields& fields) {
+  std::string line = "{\"key\":\"";
+  append_escaped(line, key);
+  line += "\",\"fields\":{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    append_escaped(line, name);
+    line += "\":\"";
+    append_escaped(line, value);
+    line += '"';
+  }
+  line += "}}\n";
+  return line;
+}
+
+bool parse_journal_line(const std::string& line, std::string& key,
+                        JournalFields& fields) {
+  return LineParser(line).parse(key, fields);
+}
+
+bool journal_fsync_enabled() {
+  return env_int("BDPROTO_JOURNAL_FSYNC").value_or(0) != 0;
+}
+
+void append_line_atomic(const std::string& path, const std::string& line) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("journal: cannot open '" + path +
+                             "' for append: " + std::strerror(errno));
+  }
+  ssize_t n;
+  do {
+    n = ::write(fd, line.data(), line.size());
+  } while (n < 0 && errno == EINTR);
+  // A short write on a regular file is an ENOSPC-class failure. The torn
+  // tail (if any bytes landed) is exactly the shape every reader already
+  // tolerates and drops.
+  if (n != static_cast<ssize_t>(line.size())) {
+    const std::string reason =
+        n < 0 ? std::strerror(errno) : "short write";
+    ::close(fd);
+    throw std::runtime_error("journal: write failure on '" + path +
+                             "': " + reason);
+  }
+  if (journal_fsync_enabled()) ::fsync(fd);
+  ::close(fd);
+}
+
 RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return;  // journal does not exist yet: start empty
@@ -113,7 +172,7 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
 
     std::string key;
     JournalFields fields;
-    if (LineParser(line).parse(key, fields)) {
+    if (parse_journal_line(line, key, fields)) {
       entries_[key] = std::move(fields);
       reterminate = !has_newline;
       continue;
@@ -134,8 +193,7 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
 
   if (reterminate) {
     in.close();
-    std::ofstream out(path_, std::ios::app | std::ios::binary);
-    out << '\n';
+    append_line_atomic(path_, "\n");
   }
 }
 
@@ -153,30 +211,7 @@ void RunJournal::record(const std::string& key, const JournalFields& fields) {
   faults.fire_slow_io("journal append '" + path_ + "'");
   faults.fire_io("journal append '" + path_ + "'");
 
-  std::string line = "{\"key\":\"";
-  append_escaped(line, key);
-  line += "\",\"fields\":{";
-  bool first = true;
-  for (const auto& [name, value] : fields) {
-    if (!first) line += ',';
-    first = false;
-    line += '"';
-    append_escaped(line, name);
-    line += "\":\"";
-    append_escaped(line, value);
-    line += '"';
-  }
-  line += "}}\n";
-
-  std::ofstream out(path_, std::ios::app | std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("journal: cannot open '" + path_ +
-                             "' for append");
-  }
-  out << line << std::flush;
-  if (!out) {
-    throw std::runtime_error("journal: write failure on '" + path_ + "'");
-  }
+  append_line_atomic(path_, encode_journal_line(key, fields));
   entries_[key] = fields;
 }
 

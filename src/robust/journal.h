@@ -10,6 +10,12 @@
 // dropped and the next append starts on a fresh line. Field values are
 // opaque strings; callers serialize doubles with "%.17g" so that resumed
 // tables are byte-identical to uninterrupted runs.
+//
+// Multi-writer safety: every entry is appended with O_APPEND and exactly
+// one write(2) call (append_line_atomic below), so concurrent appender
+// processes — the sharded bench workers of src/shard/ — can never
+// interleave bytes mid-line. BDPROTO_JOURNAL_FSYNC=1 additionally fsyncs
+// each append for crash-durability tests.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +58,30 @@ class RunJournal {
   std::string path_;
   std::map<std::string, JournalFields> entries_;
 };
+
+/// Serializes one {key, fields} entry as a single line (trailing newline
+/// included) of the journal's canonical JSONL grammar. Shared with the
+/// shard lease ledger so both files parse with the same code.
+std::string encode_journal_line(const std::string& key,
+                                const JournalFields& fields);
+
+/// Parses one line of the canonical grammar into (key, fields). Returns
+/// false on any deviation — including a torn line — instead of throwing,
+/// so the caller decides whether the damage is tolerable.
+bool parse_journal_line(const std::string& line, std::string& key,
+                        JournalFields& fields);
+
+/// Appends `line` to `path` with O_APPEND and exactly one write(2) call:
+/// concurrent appenders (other worker processes) can never interleave
+/// bytes mid-line, so every intact line in the file parses. Honours
+/// BDPROTO_JOURNAL_FSYNC=1 by fsyncing before returning. Throws on open
+/// failure or a short write (ENOSPC-class; the torn tail is dropped on
+/// the next load).
+void append_line_atomic(const std::string& path, const std::string& line);
+
+/// True when BDPROTO_JOURNAL_FSYNC=1: every journal/ledger append is
+/// fsynced before the writer proceeds (crash-durability testing knob).
+bool journal_fsync_enabled();
 
 /// FNV-1a 64-bit hash of `s`, as 16 lowercase hex digits. Stable across
 /// runs and platforms (unlike std::hash), so journal keys written by one

@@ -1,0 +1,101 @@
+// Crash-resilient lease ledger: the multi-writer coordination file that
+// shard workers claim table cells through.
+//
+// The ledger is an append-only JSONL file in the run journal's line
+// grammar (robust/journal.h): one record per line,
+//
+//   {"key":"<cell hash>","fields":{"op":"claim","worker":"w2","ts":"..."}}
+//
+// appended with O_APPEND and a single write(2) so records from concurrent
+// worker processes never interleave mid-line, and loaded torn-final-line
+// tolerant exactly like the journal. Claims — the only read-check-write
+// races — are serialized by an exclusive fcntl(2) advisory lock on the
+// ledger file: under the lock a worker re-reads the tail, re-checks that
+// the cell is still claimable, and appends its claim. Heartbeats, done
+// and abandon records are written only by the lease holder and need no
+// lock beyond the atomic append.
+//
+// All appends go through one persistent file descriptor per LeaseLedger:
+// POSIX drops every fcntl lock a process holds on a file when *any* of
+// its descriptors for that file closes, so an open/append/close helper
+// would silently release a claim lock mid-protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/ordered_mutex.h"
+#include "shard/lease.h"
+
+namespace bd::shard {
+
+/// Machine-wide monotonic milliseconds (CLOCK_MONOTONIC): comparable
+/// across processes on one host and immune to wall-clock steps. Used for
+/// lease expiry arithmetic only — never in any output file.
+std::int64_t now_ms();
+
+class LeaseLedger {
+ public:
+  /// Disabled ledger (enabled() false, every operation a no-op).
+  LeaseLedger() = default;
+
+  /// Opens (creating if absent) the ledger and replays every intact
+  /// record. Throws on open failure. Malformed completed lines (a dead
+  /// writer's torn tail fused with a later append) are skipped with a
+  /// warning — record loss is self-healing for this protocol; a torn
+  /// final line stays pending until its terminating newline arrives.
+  explicit LeaseLedger(std::string path);
+
+  ~LeaseLedger();
+  LeaseLedger(const LeaseLedger&) = delete;
+  LeaseLedger& operator=(const LeaseLedger&) = delete;
+
+  bool enabled() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record (single O_APPEND write; BDPROTO_JOURNAL_FSYNC
+  /// honoured) and folds it into the local table.
+  void append(const LedgerRecord& r);
+
+  /// Folds in records other processes appended since the last poll.
+  void poll();
+
+  /// Claim protocol: under the exclusive fcntl lock, re-polls, re-checks
+  /// claimability, and appends the claim record. Returns false when the
+  /// cell was taken (or finished) in the meantime. `*stole` is set when
+  /// the claim took over an expired lease.
+  bool try_claim(const std::string& key, const std::string& worker,
+                 std::int64_t ttl_ms, bool* stole);
+
+  // Locked queries against the replayed lease table.
+  bool done(const std::string& key) const;
+  bool claimable(const std::string& key, std::int64_t ttl_ms) const;
+  int strikes(const std::string& key, std::int64_t ttl_ms) const;
+  LedgerSummary summarize(std::int64_t ttl_ms) const;
+
+ private:
+  void poll_locked();
+  void append_locked(const LedgerRecord& r);
+
+  mutable runtime::OrderedMutex<runtime::LockRank::kShardLedger> mutex_;
+  std::string path_;
+  int fd_ = -1;
+  std::uintmax_t read_offset_ = 0;
+  std::string pending_;  // bytes read but not yet newline-terminated
+  std::size_t pending_line_ = 0;  // lines consumed (error reporting)
+  LeaseTable table_;
+};
+
+/// Read-only replay for inspection (`bdctl verify`, coordinator summary):
+/// the lease table, the record count, malformed lines skipped (a dead
+/// writer's torn tail concatenated with a later append), and whether the
+/// final line itself was torn.
+struct LedgerInspection {
+  LeaseTable table;
+  std::size_t records = 0;
+  std::size_t malformed = 0;
+  bool torn_tail = false;
+};
+LedgerInspection inspect_ledger(const std::string& path);
+
+}  // namespace bd::shard

@@ -18,6 +18,21 @@
 //   BDPROTO_RETRIES=<n>       - retries after a failed attempt (default 2)
 //   BDPROTO_FAULTS=<spec>     - deterministic fault injection, e.g.
 //                               "hang@2,io_fail@3" (robust/fault_injector.h)
+//
+// Crash-resumable journaling (see robust/journal.h):
+//   BDPROTO_JOURNAL=<path>    - append completed cells to a JSONL journal
+//   BDPROTO_RESUME=1          - skip cells already in the journal
+//   BDPROTO_JOURNAL_FSYNC=1   - fsync journal/ledger appends (durability
+//                               over throughput; default off)
+//
+// Sharded execution (see shard/worker.h; normally set by `bdctl shard
+// run` rather than by hand):
+//   BDPROTO_SHARD_LEDGER=<path> - run as a shard worker against this
+//                                 lease ledger (empty/unset: normal run)
+//   BDPROTO_SHARD_WORKER=<id>   - worker id in ledger records (default w1)
+//   BDPROTO_SHARD_TTL=<secs>    - lease expiry; a dead worker's cell is
+//                                 stealable this long after its last
+//                                 heartbeat (default 5)
 #pragma once
 
 #include <cstdint>

@@ -4,16 +4,26 @@
 // experiment harness depends on it (same seed => same table row).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "attack/poison.h"
 #include "attack/trigger.h"
 #include "core/grad_prune.h"
 #include "data/synth.h"
 #include "defense/defense.h"
 #include "eval/metrics.h"
+#include "eval/table_bench.h"
 #include "eval/trainer.h"
 #include "models/factory.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "shard/worker.h"
 #include "tensor/ops.h"
 
 namespace bd {
@@ -207,6 +217,120 @@ TEST(Determinism, EvaluationIsPure) {
   const double a1 = eval::accuracy(*model, data.test);
   const double a2 = eval::accuracy(*model, data.test);
   EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+// The sharded-execution contract: the merged table is a pure function of
+// the spec and seed, invariant to how many worker processes split the
+// cells (and to which worker ran which cell).
+TEST(Determinism, ProcessCountInvariance) {
+  runtime::set_thread_count(1);
+
+  eval::ExperimentScale scale;
+  scale.data.height = scale.data.width = 8;
+  scale.data.train_per_class = 8;
+  scale.data.test_per_class = 2;
+  scale.attack_train.epochs = 1;
+  scale.base_width = 8;
+  scale.spc_settings = {2, 5};
+  scale.trials = 1;
+  scale.defense_max_epochs = 2;
+  scale.prune_max_rounds = 3;
+  scale.anp_iterations = 2;
+  scale.nad_teacher_epochs = 1;
+  scale.nad_distill_epochs = 1;
+
+  const auto make_spec = [&scale](const std::string& journal) {
+    eval::TableSpec spec;
+    spec.title = "process invariance";
+    spec.dataset = "cifar";
+    spec.arch = "preactresnet";
+    spec.attacks = {"badnet"};
+    spec.defenses = {"ft", "clp", "gradprune"};
+    spec.scale = scale;
+    spec.journal_path = journal;
+    spec.resume = false;
+    return spec;
+  };
+  const auto merged_output = [](eval::TableSpec spec) {
+    spec.resume = true;
+    ::testing::internal::CaptureStdout();
+    eval::run_table(spec);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    std::string stripped;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      std::size_t end = out.find('\n', pos);
+      if (end == std::string::npos) end = out.size();
+      const std::string line = out.substr(pos, end - pos);
+      if (line.rfind("total:", 0) != 0) {
+        stripped += line;
+        stripped += '\n';
+      }
+      pos = end + 1;
+    }
+    return stripped;
+  };
+
+  const std::string dir = "/tmp/bd_determinism_shard_" +
+                          std::to_string(::getpid());
+  const auto cleanup = [&dir](int workers) {
+    std::remove((dir + "_j" + std::to_string(workers)).c_str());
+    std::remove((dir + "_l" + std::to_string(workers)).c_str());
+  };
+
+  std::string reference;
+  for (const int workers : {1, 2, 4}) {
+    cleanup(workers);
+    const std::string journal = dir + "_j" + std::to_string(workers);
+    const std::string ledger = dir + "_l" + std::to_string(workers);
+    const eval::TableSpec spec = make_spec(journal);
+
+    std::vector<pid_t> fleet;
+    for (int w = 1; w <= workers; ++w) {
+      std::fflush(stdout);
+      std::fflush(stderr);
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        const int null_fd = ::open("/dev/null", O_WRONLY);
+        if (null_fd >= 0) {
+          ::dup2(null_fd, STDOUT_FILENO);
+          ::dup2(null_fd, STDERR_FILENO);
+          if (null_fd > STDERR_FILENO) ::close(null_fd);
+        }
+        eval::TableSpec worker_spec = spec;
+        shard::ShardConfig config;
+        config.ledger_path = ledger;
+        config.worker_id = "w" + std::to_string(w);
+        config.lease_ttl_seconds = 5.0;
+        config.poll_interval_seconds = 0.01;
+        worker_spec.shard = config;
+        int rc = 0;
+        try {
+          eval::run_table(worker_spec);
+        } catch (...) {
+          rc = 1;
+        }
+        ::_exit(rc);
+      }
+      fleet.push_back(pid);
+    }
+    for (const pid_t pid : fleet) {
+      int status = 0;
+      ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+      ASSERT_TRUE(WIFEXITED(status)) << workers << " workers";
+      ASSERT_EQ(WEXITSTATUS(status), 0) << workers << " workers";
+    }
+
+    const std::string merged = merged_output(spec);
+    ASSERT_NE(merged.find("Baseline"), std::string::npos);
+    if (reference.empty()) {
+      reference = merged;
+    } else {
+      EXPECT_EQ(merged, reference) << workers << " workers";
+    }
+    cleanup(workers);
+  }
 }
 
 }  // namespace
