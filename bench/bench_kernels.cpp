@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/arena.h"
 #include "autograd/ops.h"
 #include "models/factory.h"
 #include "nn/layers.h"
@@ -121,7 +122,8 @@ void BM_ModelForward(benchmark::State& state) {
   const bd::Tensor x = random_tensor({16, 3, 16, 16}, rng);
   bd::ag::NoGradGuard guard;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model->forward(bd::ag::Var(x)));
+    // forward() only builds the graph; value() forces materialization.
+    benchmark::DoNotOptimize(model->forward(bd::ag::Var(x)).value()[0]);
   }
 }
 BENCHMARK(BM_ModelForward);
@@ -143,6 +145,46 @@ void BM_ModelTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelTrainStep);
+
+// Same training step, but reporting the backward-pass memory planner: the
+// graph IR plans one buffer per interior gradient and serves it from the
+// thread-local arena, so in steady state the reuse ratio approaches 1 and
+// the arena footprint (peak_bytes) sits far below what a malloc-per-node
+// backward would touch (naive = buffers_planned fresh buffers per pass).
+// Counters are exported so BENCH_kernels.json records the reduction.
+void BM_TrainStepArena(benchmark::State& state) {
+  bd::Rng rng(6);
+  bd::models::ModelSpec spec;
+  spec.arch = "preactresnet";
+  spec.base_width = 8;
+  auto model = bd::models::make_model(spec, rng);
+  model->set_training(true);
+  const bd::Tensor x = random_tensor({16, 3, 16, 16}, rng);
+  const std::vector<std::int64_t> labels(16, 1);
+
+  auto& arena = bd::ag::GradArena::local();
+  arena.reset_stats();
+  for (auto _ : state) {
+    model->zero_grad();
+    auto loss = bd::ag::cross_entropy(model->forward(bd::ag::Var(x)), labels);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  const bd::ag::ArenaStats& s = arena.stats();
+  const double passes = static_cast<double>(s.passes > 0 ? s.passes : 1);
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(s.last_peak_bytes);
+  state.counters["arena_naive_bytes"] =
+      static_cast<double>(s.last_naive_bytes);
+  state.counters["arena_reuse_ratio"] =
+      s.buffers_planned > 0 ? static_cast<double>(s.buffers_reused) /
+                                  static_cast<double>(s.buffers_planned)
+                            : 0.0;
+  state.counters["grad_buffers_per_pass"] =
+      static_cast<double>(s.buffers_planned) / passes;
+  state.counters["slot_allocs_total"] = static_cast<double>(s.slot_allocs);
+}
+BENCHMARK(BM_TrainStepArena);
 
 // Observability off-path overhead: both pillars disabled, so each iteration
 // pays exactly one relaxed atomic load in the Span constructor (and nothing
@@ -181,6 +223,7 @@ class JsonCollector : public benchmark::BenchmarkReporter {
     std::string name;
     double ns_per_op;
     std::int64_t iterations;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   bool ReportContext(const Context& context) override {
@@ -198,7 +241,13 @@ class JsonCollector : public benchmark::BenchmarkReporter {
               ? run.real_accumulated_time * 1e9 /
                     static_cast<double>(run.iterations)
               : 0.0;
-      rows_.push_back({run.benchmark_name(), ns, run.iterations});
+      // run.counters is a std::map, so this ordering is deterministic.
+      std::vector<std::pair<std::string, double>> counters;
+      for (const auto& [cname, counter] : run.counters) {
+        counters.emplace_back(cname, static_cast<double>(counter.value));
+      }
+      rows_.push_back({run.benchmark_name(), ns, run.iterations,
+                       std::move(counters)});
     }
   }
 
@@ -216,8 +265,12 @@ class JsonCollector : public benchmark::BenchmarkReporter {
       os << (i ? ",\n" : "\n") << "{\"name\":\"" << r.name << "\",\"op\":\""
          << op << "\",\"shape\":\"" << shape
          << "\",\"threads\":" << bd::runtime::thread_count()
-         << ",\"iterations\":" << r.iterations << ",\"ns_per_op\":" << num
-         << '}';
+         << ",\"iterations\":" << r.iterations << ",\"ns_per_op\":" << num;
+      for (const auto& [cname, value] : r.counters) {
+        std::snprintf(num, sizeof(num), "%.3f", value);
+        os << ",\"" << cname << "\":" << num;
+      }
+      os << '}';
     }
     os << "\n]}\n";
     return bd::write_file_atomic(path, os.str());

@@ -1,0 +1,133 @@
+#include "autograd/arena.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace bd::ag {
+
+BufferPlan plan_buffers(const std::vector<BufferLifetime>& lifetimes) {
+  for (const auto& lt : lifetimes) {
+    if (lt.numel < 0) {
+      throw std::invalid_argument("plan_buffers: negative buffer size");
+    }
+    if (lt.dies < lt.born) {
+      throw std::invalid_argument("plan_buffers: lifetime dies at step " +
+                                  std::to_string(lt.dies) +
+                                  " before it is born at step " +
+                                  std::to_string(lt.born));
+    }
+  }
+
+  BufferPlan plan;
+  plan.slot.assign(lifetimes.size(), -1);
+  std::vector<std::int32_t> busy_until;  // per slot: dies of its occupant
+
+  std::vector<std::size_t> order(lifetimes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return lifetimes[a].born < lifetimes[b].born;
+                   });
+
+  for (const std::size_t i : order) {
+    const BufferLifetime& lt = lifetimes[i];
+    plan.naive_bytes +=
+        lt.numel * static_cast<std::int64_t>(sizeof(float));
+
+    // Best fit among free slots: smallest sufficient capacity; remember the
+    // largest free slot as the grow candidate when none is big enough.
+    std::int32_t best = -1;
+    std::int32_t largest_free = -1;
+    for (std::size_t s = 0; s < busy_until.size(); ++s) {
+      if (busy_until[s] >= lt.born) continue;  // occupied: would alias
+      const std::int64_t cap = plan.slot_numel[s];
+      if (cap >= lt.numel) {
+        if (best < 0 || cap < plan.slot_numel[static_cast<std::size_t>(best)]) {
+          best = static_cast<std::int32_t>(s);
+        }
+      }
+      if (largest_free < 0 ||
+          cap > plan.slot_numel[static_cast<std::size_t>(largest_free)]) {
+        largest_free = static_cast<std::int32_t>(s);
+      }
+    }
+    if (best < 0 && largest_free >= 0) {
+      // Grow the largest free slot rather than opening a new one.
+      best = largest_free;
+      plan.slot_numel[static_cast<std::size_t>(best)] = lt.numel;
+    }
+    if (best < 0) {
+      best = static_cast<std::int32_t>(plan.slot_numel.size());
+      plan.slot_numel.push_back(lt.numel);
+      busy_until.push_back(lt.dies);
+    } else {
+      busy_until[static_cast<std::size_t>(best)] = lt.dies;
+    }
+    plan.slot[i] = best;
+  }
+
+  for (const std::int64_t cap : plan.slot_numel) {
+    plan.peak_bytes += cap * static_cast<std::int64_t>(sizeof(float));
+  }
+  return plan;
+}
+
+GradArena& GradArena::local() {
+  thread_local GradArena arena;
+  return arena;
+}
+
+void GradArena::prepare(const BufferPlan& plan) {
+  if (slots_.size() < plan.slot_numel.size()) {
+    slots_.resize(plan.slot_numel.size());
+  }
+  for (std::size_t s = 0; s < plan.slot_numel.size(); ++s) {
+    const auto need = static_cast<std::size_t>(plan.slot_numel[s]);
+    if (!slots_[s]) {
+      slots_[s] = std::make_shared<std::vector<float>>(need);
+      ++stats_.slot_allocs;
+    } else if (slots_[s]->size() < need) {
+      // Grow in place when the slot is unreferenced, else replace; either
+      // way the old capacity is gone, so count it as an allocation.
+      if (slots_[s].use_count() == 1) {
+        slots_[s]->resize(need);
+      } else {
+        slots_[s] = std::make_shared<std::vector<float>>(need);
+      }
+      ++stats_.slot_allocs;
+    }
+  }
+  plan_ = plan;
+  ++stats_.passes;
+  stats_.buffers_planned += plan.slot.size();
+  stats_.last_peak_bytes = plan.peak_bytes;
+  stats_.max_peak_bytes = std::max(stats_.max_peak_bytes, plan.peak_bytes);
+  stats_.last_naive_bytes = plan.naive_bytes;
+}
+
+Tensor GradArena::acquire(std::size_t lifetime_index, const Shape& shape) {
+  if (lifetime_index >= plan_.slot.size()) {
+    throw std::logic_error("GradArena::acquire: lifetime index " +
+                           std::to_string(lifetime_index) +
+                           " outside the prepared plan");
+  }
+  const auto s = static_cast<std::size_t>(plan_.slot[lifetime_index]);
+  auto& storage = slots_[s];
+  if (storage.use_count() != 1 ||
+      static_cast<std::int64_t>(storage->size()) < shape_numel(shape)) {
+    // A previous backward pass was abandoned with this slot still held, or
+    // the plan under-sized it. Never alias: hand out a fresh buffer.
+    ++stats_.fallback_allocs;
+    return Tensor(shape);
+  }
+  ++stats_.buffers_reused;
+  return Tensor::wrap_storage(storage, shape);
+}
+
+void GradArena::release_storage() {
+  slots_.clear();
+  plan_ = BufferPlan{};
+}
+
+}  // namespace bd::ag

@@ -1,240 +1,122 @@
 #include "autograd/ops.h"
 
-#include <cmath>
 #include <stdexcept>
+#include <string>
 
-#include "tensor/ops.h"
+#include "autograd/shape_infer.h"
 
 namespace bd::ag {
 
 namespace {
 
-// Accumulates `g` into `target` if it participates in the graph, reducing
-// over broadcast dimensions first.
-void backprop_to(const NodePtr& target, const Tensor& g) {
-  if (!target || !target->requires_grad) return;
-  if (g.shape() == target->value.shape()) {
-    target->accumulate_grad(g);
-  } else {
-    target->accumulate_grad(reduce_to_shape(g, target->value.shape()));
+// Builds an op node: inferred shape, defined inputs, grad flags. No kernel
+// runs here — execution is deferred to the value()/backward() boundaries.
+// Mirrors the eager tape's recording rule: the node participates in
+// backward only when recording is on and some input requires grad.
+Var make_op(OpKind kind, Shape shape, std::initializer_list<const Var*> ins) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->shape = std::move(shape);
+  for (const Var* v : ins) {
+    if (v->defined()) n->inputs.push_back(v->node());
   }
+  if (grad_recording_enabled()) {
+    for (const auto& in : n->inputs) {
+      if (in->requires_grad) {
+        n->requires_grad = true;
+        n->is_leaf = false;
+        break;
+      }
+    }
+  }
+  return Var::from_node(std::move(n));
 }
 
 }  // namespace
 
 Var add(const Var& a, const Var& b) {
-  auto pa = a.node(), pb = b.node();
-  return Var::op_result(
-      bd::add(a.value(), b.value()), {a, b},
-      [pa, pb](Node& n) {
-        backprop_to(pa, n.grad);
-        backprop_to(pb, n.grad);
-      },
-      "add");
+  return make_op(OpKind::kAdd, broadcast_result(a.shape(), b.shape(), "add"),
+                 {&a, &b});
 }
 
 Var sub(const Var& a, const Var& b) {
-  auto pa = a.node(), pb = b.node();
-  return Var::op_result(
-      bd::sub(a.value(), b.value()), {a, b},
-      [pa, pb](Node& n) {
-        backprop_to(pa, n.grad);
-        backprop_to(pb, bd::neg(n.grad));
-      },
-      "sub");
+  return make_op(OpKind::kSub, broadcast_result(a.shape(), b.shape(), "sub"),
+                 {&a, &b});
 }
 
 Var mul(const Var& a, const Var& b) {
-  auto pa = a.node(), pb = b.node();
-  const Tensor av = a.value(), bv = b.value();
-  return Var::op_result(
-      bd::mul(av, bv), {a, b},
-      [pa, pb, av, bv](Node& n) {
-        backprop_to(pa, bd::mul(n.grad, bv));
-        backprop_to(pb, bd::mul(n.grad, av));
-      },
-      "mul");
+  return make_op(OpKind::kMul, broadcast_result(a.shape(), b.shape(), "mul"),
+                 {&a, &b});
 }
 
 Var div(const Var& a, const Var& b) {
-  auto pa = a.node(), pb = b.node();
-  const Tensor av = a.value(), bv = b.value();
-  return Var::op_result(
-      bd::div(av, bv), {a, b},
-      [pa, pb, av, bv](Node& n) {
-        backprop_to(pa, bd::div(n.grad, bv));
-        // d/db (a/b) = -a / b^2
-        backprop_to(pb, bd::neg(bd::div(bd::mul(n.grad, av), bd::mul(bv, bv))));
-      },
-      "div");
+  return make_op(OpKind::kDiv, broadcast_result(a.shape(), b.shape(), "div"),
+                 {&a, &b});
 }
 
 Var add_scalar(const Var& a, float s) {
-  auto pa = a.node();
-  return Var::op_result(
-      bd::add_scalar(a.value(), s), {a},
-      [pa](Node& n) { backprop_to(pa, n.grad); }, "add_scalar");
+  Var out = make_op(OpKind::kAddScalar, a.shape(), {&a});
+  out.node()->scalar = s;
+  return out;
 }
 
 Var mul_scalar(const Var& a, float s) {
-  auto pa = a.node();
-  return Var::op_result(
-      bd::mul_scalar(a.value(), s), {a},
-      [pa, s](Node& n) { backprop_to(pa, bd::mul_scalar(n.grad, s)); },
-      "mul_scalar");
+  Var out = make_op(OpKind::kMulScalar, a.shape(), {&a});
+  out.node()->scalar = s;
+  return out;
 }
 
 Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
 
-Var exp(const Var& a) {
-  auto pa = a.node();
-  Tensor out = bd::exp(a.value());
-  return Var::op_result(
-      out, {a},
-      [pa, out](Node& n) { backprop_to(pa, bd::mul(n.grad, out)); }, "exp");
-}
+Var exp(const Var& a) { return make_op(OpKind::kExp, a.shape(), {&a}); }
 
-Var log(const Var& a) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  return Var::op_result(
-      bd::log(av), {a},
-      [pa, av](Node& n) { backprop_to(pa, bd::div(n.grad, av)); }, "log");
-}
+Var log(const Var& a) { return make_op(OpKind::kLog, a.shape(), {&a}); }
 
-Var sqrt(const Var& a) {
-  auto pa = a.node();
-  Tensor out = bd::sqrt(a.value());
-  return Var::op_result(
-      out, {a},
-      [pa, out](Node& n) {
-        backprop_to(pa, bd::div(n.grad, bd::mul_scalar(out, 2.0f)));
-      },
-      "sqrt");
-}
+Var sqrt(const Var& a) { return make_op(OpKind::kSqrt, a.shape(), {&a}); }
 
-Var abs(const Var& a) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  return Var::op_result(
-      bd::abs(av), {a},
-      [pa, av](Node& n) { backprop_to(pa, bd::mul(n.grad, bd::sign(av))); },
-      "abs");
-}
+Var abs(const Var& a) { return make_op(OpKind::kAbs, a.shape(), {&a}); }
 
 Var pow_scalar(const Var& a, float p) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  return Var::op_result(
-      bd::pow_scalar(av, p), {a},
-      [pa, av, p](Node& n) {
-        backprop_to(pa,
-                    bd::mul(n.grad,
-                            bd::mul_scalar(bd::pow_scalar(av, p - 1.0f), p)));
-      },
-      "pow_scalar");
+  Var out = make_op(OpKind::kPowScalar, a.shape(), {&a});
+  out.node()->scalar = p;
+  return out;
 }
 
 Var clamp(const Var& a, float lo, float hi) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  return Var::op_result(
-      bd::clamp(av, lo, hi), {a},
-      [pa, av, lo, hi](Node& n) {
-        const Tensor mask = bd::unary(
-            av, [lo, hi](float x) { return (x > lo && x < hi) ? 1.0f : 0.0f; });
-        backprop_to(pa, bd::mul(n.grad, mask));
-      },
-      "clamp");
+  Var out = make_op(OpKind::kClamp, a.shape(), {&a});
+  out.node()->lo = lo;
+  out.node()->hi = hi;
+  return out;
 }
 
-Var relu(const Var& a) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  return Var::op_result(
-      bd::relu(av), {a},
-      [pa, av](Node& n) {
-        const Tensor mask =
-            bd::unary(av, [](float x) { return x > 0 ? 1.0f : 0.0f; });
-        backprop_to(pa, bd::mul(n.grad, mask));
-      },
-      "relu");
-}
+Var relu(const Var& a) { return make_op(OpKind::kRelu, a.shape(), {&a}); }
 
 Var sigmoid(const Var& a) {
-  auto pa = a.node();
-  Tensor out = bd::sigmoid(a.value());
-  return Var::op_result(
-      out, {a},
-      [pa, out](Node& n) {
-        const Tensor d =
-            bd::unary(out, [](float s) { return s * (1.0f - s); });
-        backprop_to(pa, bd::mul(n.grad, d));
-      },
-      "sigmoid");
+  return make_op(OpKind::kSigmoid, a.shape(), {&a});
 }
 
-Var tanh(const Var& a) {
-  auto pa = a.node();
-  Tensor out = bd::tanh(a.value());
-  return Var::op_result(
-      out, {a},
-      [pa, out](Node& n) {
-        const Tensor d = bd::unary(out, [](float t) { return 1.0f - t * t; });
-        backprop_to(pa, bd::mul(n.grad, d));
-      },
-      "tanh");
-}
+Var tanh(const Var& a) { return make_op(OpKind::kTanh, a.shape(), {&a}); }
 
 Var hardsigmoid(const Var& a) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  Tensor out = bd::unary(av, [](float x) {
-    return std::min(1.0f, std::max(0.0f, (x + 3.0f) / 6.0f));
-  });
-  return Var::op_result(
-      out, {a},
-      [pa, av](Node& n) {
-        const Tensor d = bd::unary(av, [](float x) {
-          return (x > -3.0f && x < 3.0f) ? (1.0f / 6.0f) : 0.0f;
-        });
-        backprop_to(pa, bd::mul(n.grad, d));
-      },
-      "hardsigmoid");
+  return make_op(OpKind::kHardsigmoid, a.shape(), {&a});
 }
 
 Var hardswish(const Var& a) {
-  auto pa = a.node();
-  const Tensor av = a.value();
-  Tensor out = bd::unary(av, [](float x) {
-    return x * std::min(1.0f, std::max(0.0f, (x + 3.0f) / 6.0f));
-  });
-  return Var::op_result(
-      out, {a},
-      [pa, av](Node& n) {
-        const Tensor d = bd::unary(av, [](float x) {
-          if (x <= -3.0f) return 0.0f;
-          if (x >= 3.0f) return 1.0f;
-          return (2.0f * x + 3.0f) / 6.0f;
-        });
-        backprop_to(pa, bd::mul(n.grad, d));
-      },
-      "hardswish");
+  return make_op(OpKind::kHardswish, a.shape(), {&a});
 }
 
 Var reshape(const Var& a, Shape shape) {
-  auto pa = a.node();
-  const Shape original = a.value().shape();
-  return Var::op_result(
-      a.value().reshape(shape), {a},
-      [pa, original](Node& n) {
-        backprop_to(pa, n.grad.reshape(original));
-      },
-      "reshape");
+  if (shape_numel(shape) != shape_numel(a.shape())) {
+    // Same contract (and message) as Tensor::reshape, raised at build time.
+    throw std::invalid_argument("Tensor::reshape: cannot reshape " +
+                                shape_string(a.shape()) + " to " +
+                                shape_string(shape));
+  }
+  return make_op(OpKind::kReshape, std::move(shape), {&a});
 }
 
 Var flatten2d(const Var& a) {
-  const auto& s = a.value().shape();
+  const Shape& s = a.shape();
   if (s.size() != 4) {
     throw std::invalid_argument("flatten2d: expected rank-4 input");
   }
@@ -243,196 +125,103 @@ Var flatten2d(const Var& a) {
 
 Var reduce_sum(const Var& a, const std::vector<std::int64_t>& axes,
                bool keepdim) {
-  auto pa = a.node();
-  const Shape in_shape = a.value().shape();
-  Tensor out = bd::reduce_sum(a.value(), axes, keepdim);
-  const Shape kept = keepdim ? out.shape() : [&] {
-    // Rebuild the keepdim shape so the gradient can broadcast back.
-    Shape k(in_shape.size(), 0);
-    std::vector<bool> reduced(in_shape.size(), false);
-    for (auto ax : axes) {
-      if (ax < 0) ax += static_cast<std::int64_t>(in_shape.size());
-      reduced[static_cast<std::size_t>(ax)] = true;
-    }
-    for (std::size_t d = 0; d < in_shape.size(); ++d) {
-      k[d] = reduced[d] ? 1 : in_shape[d];
-    }
-    return k;
-  }();
-  return Var::op_result(
-      out, {a},
-      [pa, in_shape, kept](Node& n) {
-        // Broadcast the (keepdim-shaped) gradient back over reduced dims.
-        const Tensor g = n.grad.reshape(kept);
-        backprop_to(pa, bd::add(g, Tensor::zeros(in_shape)));
-      },
-      "reduce_sum");
+  Var out = make_op(OpKind::kReduceSum,
+                    reduce_result(a.shape(), axes, keepdim), {&a});
+  Node& n = *out.node();
+  n.axes = axes;
+  n.keepdim = keepdim;
+  n.kept_shape = reduce_kept_shape(a.shape(), axes);
+  return out;
 }
 
 Var reduce_mean(const Var& a, const std::vector<std::int64_t>& axes,
                 bool keepdim) {
   Var s = reduce_sum(a, axes, keepdim);
-  const auto denom = static_cast<float>(a.value().numel() /
-                                        std::max<std::int64_t>(1, s.value().numel()));
+  const auto denom = static_cast<float>(
+      shape_numel(a.shape()) /
+      std::max<std::int64_t>(1, shape_numel(s.shape())));
   return mul_scalar(s, 1.0f / denom);
 }
 
 Var sum_all(const Var& a) {
-  auto pa = a.node();
-  const Shape in_shape = a.value().shape();
-  return Var::op_result(
-      Tensor::scalar(bd::sum_all(a.value())), {a},
-      [pa, in_shape](Node& n) {
-        backprop_to(pa, Tensor::full(in_shape, n.grad[0]));
-      },
-      "sum_all");
+  static_cast<void>(a.shape());  // throws on an undefined handle
+  return make_op(OpKind::kSumAll, Shape{}, {&a});
 }
 
 Var mean_all(const Var& a) {
-  return mul_scalar(sum_all(a), 1.0f / static_cast<float>(a.value().numel()));
+  return mul_scalar(sum_all(a),
+                    1.0f / static_cast<float>(shape_numel(a.shape())));
 }
 
 Var matmul(const Var& a, const Var& b) {
-  auto pa = a.node(), pb = b.node();
-  const Tensor av = a.value(), bv = b.value();
-  return Var::op_result(
-      bd::matmul(av, bv), {a, b},
-      [pa, pb, av, bv](Node& n) {
-        backprop_to(pa, bd::matmul(n.grad, transpose2d(bv)));
-        backprop_to(pb, bd::matmul(transpose2d(av), n.grad));
-      },
-      "matmul");
+  return make_op(OpKind::kMatmul, matmul_result(a.shape(), b.shape()),
+                 {&a, &b});
 }
 
 Var conv2d(const Var& input, const Var& weight, const Var& bias,
            const Conv2dSpec& spec) {
-  auto pi = input.node(), pw = weight.node();
-  auto pb = bias.defined() ? bias.node() : NodePtr();
-  const Tensor iv = input.value(), wv = weight.value();
-  const Tensor bv = bias.defined() ? bias.value() : Tensor();
-  const bool has_bias = bias.defined();
-  return Var::op_result(
-      conv2d_forward(iv, wv, bv, spec), {input, weight, bias},
-      [pi, pw, pb, iv, wv, has_bias, spec](Node& n) {
-        const Conv2dGrads grads =
-            conv2d_backward(iv, wv, has_bias, n.grad, spec);
-        backprop_to(pi, grads.grad_input);
-        backprop_to(pw, grads.grad_weight);
-        if (has_bias) backprop_to(pb, grads.grad_bias);
-      },
-      "conv2d");
+  const Shape* bias_shape = bias.defined() ? &bias.shape() : nullptr;
+  Var out = make_op(OpKind::kConv2d,
+                    conv2d_result(input.shape(), weight.shape(), bias_shape,
+                                  spec, /*depthwise=*/false),
+                    {&input, &weight, &bias});
+  out.node()->conv = spec;
+  return out;
 }
 
 Var depthwise_conv2d(const Var& input, const Var& weight, const Var& bias,
                      const Conv2dSpec& spec) {
-  auto pi = input.node(), pw = weight.node();
-  auto pb = bias.defined() ? bias.node() : NodePtr();
-  const Tensor iv = input.value(), wv = weight.value();
-  const Tensor bv = bias.defined() ? bias.value() : Tensor();
-  const bool has_bias = bias.defined();
-  return Var::op_result(
-      depthwise_conv2d_forward(iv, wv, bv, spec), {input, weight, bias},
-      [pi, pw, pb, iv, wv, has_bias, spec](Node& n) {
-        const Conv2dGrads grads =
-            depthwise_conv2d_backward(iv, wv, has_bias, n.grad, spec);
-        backprop_to(pi, grads.grad_input);
-        backprop_to(pw, grads.grad_weight);
-        if (has_bias) backprop_to(pb, grads.grad_bias);
-      },
-      "depthwise_conv2d");
+  const Shape* bias_shape = bias.defined() ? &bias.shape() : nullptr;
+  Var out = make_op(OpKind::kDepthwiseConv2d,
+                    conv2d_result(input.shape(), weight.shape(), bias_shape,
+                                  spec, /*depthwise=*/true),
+                    {&input, &weight, &bias});
+  out.node()->conv = spec;
+  return out;
 }
 
 Var maxpool2d(const Var& input, const Pool2dSpec& spec) {
-  auto pi = input.node();
-  const Shape in_shape = input.value().shape();
-  MaxPoolResult res = maxpool2d_forward(input.value(), spec);
-  auto argmax = std::make_shared<std::vector<std::int64_t>>(
-      std::move(res.argmax));
-  return Var::op_result(
-      std::move(res.output), {input},
-      [pi, in_shape, argmax](Node& n) {
-        backprop_to(pi, maxpool2d_backward(in_shape, *argmax, n.grad));
-      },
-      "maxpool2d");
+  Var out = make_op(OpKind::kMaxPool2d, pool2d_result(input.shape(), spec),
+                    {&input});
+  out.node()->pool = spec;
+  return out;
 }
 
 Var avgpool2d(const Var& input, const Pool2dSpec& spec) {
-  auto pi = input.node();
-  const Shape in_shape = input.value().shape();
-  return Var::op_result(
-      avgpool2d_forward(input.value(), spec), {input},
-      [pi, in_shape, spec](Node& n) {
-        backprop_to(pi, avgpool2d_backward(in_shape, n.grad, spec));
-      },
-      "avgpool2d");
+  Var out = make_op(OpKind::kAvgPool2d, pool2d_result(input.shape(), spec),
+                    {&input});
+  out.node()->pool = spec;
+  return out;
 }
 
 Var global_avgpool(const Var& input) {
-  auto pi = input.node();
-  const Shape in_shape = input.value().shape();
-  return Var::op_result(
-      global_avgpool_forward(input.value()), {input},
-      [pi, in_shape](Node& n) {
-        backprop_to(pi, global_avgpool_backward(in_shape, n.grad));
-      },
-      "global_avgpool");
+  const Shape& s = input.shape();
+  if (s.size() != 4) {
+    throw std::invalid_argument("pool2d: input must be rank 4 (NCHW)");
+  }
+  return make_op(OpKind::kGlobalAvgPool, Shape{s[0], s[1], 1, 1}, {&input});
 }
 
 Var log_softmax(const Var& logits) {
-  auto pl = logits.node();
-  Tensor out = log_softmax_rows(logits.value());
-  return Var::op_result(
-      out, {logits},
-      [pl, out](Node& n) {
-        // dL/dx = g - softmax(x) * sum_j(g_j) per row.
-        const std::int64_t rows = out.size(0), cols = out.size(1);
-        Tensor gin(out.shape());
-        for (std::int64_t i = 0; i < rows; ++i) {
-          const float* g = n.grad.data() + i * cols;
-          const float* lp = out.data() + i * cols;
-          float* o = gin.data() + i * cols;
-          double gsum = 0.0;
-          for (std::int64_t j = 0; j < cols; ++j) gsum += g[j];
-          for (std::int64_t j = 0; j < cols; ++j) {
-            o[j] = g[j] - std::exp(lp[j]) * static_cast<float>(gsum);
-          }
-        }
-        backprop_to(pl, gin);
-      },
-      "log_softmax");
+  require_rank2(logits.shape(), "log_softmax_rows");
+  return make_op(OpKind::kLogSoftmax, logits.shape(), {&logits});
 }
 
 Var nll_loss(const Var& log_probs, const std::vector<std::int64_t>& labels) {
-  const Tensor& lp = log_probs.value();
-  if (lp.dim() != 2 ||
-      lp.size(0) != static_cast<std::int64_t>(labels.size())) {
+  const Shape& lp = log_probs.shape();
+  if (lp.size() != 2 ||
+      lp[0] != static_cast<std::int64_t>(labels.size())) {
     throw std::invalid_argument("nll_loss: log_probs (N,C) and N labels");
   }
-  const std::int64_t rows = lp.size(0), cols = lp.size(1);
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < rows; ++i) {
-    const std::int64_t y = labels[static_cast<std::size_t>(i)];
-    if (y < 0 || y >= cols) {
+  for (const std::int64_t y : labels) {
+    if (y < 0 || y >= lp[1]) {
       throw std::invalid_argument("nll_loss: label out of range");
     }
-    loss -= lp.at2(i, y);
   }
-  loss /= static_cast<double>(rows);
-
-  auto pl = log_probs.node();
-  auto labels_copy = std::make_shared<std::vector<std::int64_t>>(labels);
-  const Shape lp_shape = lp.shape();
-  return Var::op_result(
-      Tensor::scalar(static_cast<float>(loss)), {log_probs},
-      [pl, labels_copy, lp_shape](Node& n) {
-        const float g = n.grad[0] / static_cast<float>(lp_shape[0]);
-        Tensor gin(lp_shape);
-        for (std::int64_t i = 0; i < lp_shape[0]; ++i) {
-          gin.at2(i, (*labels_copy)[static_cast<std::size_t>(i)]) = -g;
-        }
-        backprop_to(pl, gin);
-      },
-      "nll_loss");
+  Var out = make_op(OpKind::kNllLoss, Shape{}, {&log_probs});
+  out.node()->labels =
+      std::make_shared<const std::vector<std::int64_t>>(labels);
+  return out;
 }
 
 Var cross_entropy(const Var& logits,
@@ -441,7 +230,12 @@ Var cross_entropy(const Var& logits,
 }
 
 Var mse_loss(const Var& a, const Var& b) {
-  check_same_shape(a.value(), b.value(), "mse_loss");
+  if (a.shape() != b.shape()) {
+    // check_same_shape's contract, applied to inferred shapes.
+    throw std::invalid_argument("mse_loss: shape mismatch " +
+                                shape_string(a.shape()) + " vs " +
+                                shape_string(b.shape()));
+  }
   Var d = sub(a, b);
   return mean_all(mul(d, d));
 }

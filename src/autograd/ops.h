@@ -1,9 +1,11 @@
 // Differentiable operations over bd::ag::Var.
 //
-// Each op computes its value with the kernels in src/tensor and registers a
-// backward closure. Elementwise binaries broadcast (NumPy rules); their
-// backward reduces gradients back to the operand shapes, which is what lets
-// BatchNorm and squeeze-excite be expressed compositionally.
+// Each op is a graph builder: it validates operands and infers the output
+// shape at call time (autograd/shape_infer.h) but defers kernel execution
+// to the value()/backward() boundaries (autograd/schedule.h). Elementwise
+// binaries broadcast (NumPy rules); their backward reduces gradients back
+// to the operand shapes, which is what lets BatchNorm and squeeze-excite
+// be expressed compositionally.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,226 @@
+#include "autograd/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "autograd/arena.h"
+#include "autograd/exec.h"
+#include "obs/obs.h"
+#include "tensor/ops.h"
+
+namespace bd::ag {
+
+void materialize(const NodePtr& root) {
+  if (!root || root->value.defined()) return;
+  if (root->value_released) {
+    throw std::logic_error("materialize: value of this node was recycled");
+  }
+
+  // Post-order DFS over the unmaterialized subgraph. The order is a pure
+  // function of graph structure, so materialization is deterministic no
+  // matter when value() forces it.
+  std::vector<NodePtr> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<NodePtr, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_input] = stack.back();
+    if (next_input < node->inputs.size()) {
+      const NodePtr& child = node->inputs[next_input++];
+      if (!child->value.defined() && !visited.count(child.get())) {
+        if (child->value_released) {
+          throw std::logic_error(
+              "materialize: value of a consumed node was recycled");
+        }
+        visited.insert(child.get());
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  bool any_requires_grad = false;
+  for (const auto& n : order) {
+    if (n->requires_grad) {
+      any_requires_grad = true;
+      break;
+    }
+  }
+
+  // Value recycling is only legal in gradient-free passes: a backward pass
+  // reads input values, so anything a grad-requiring node consumes must
+  // outlive the pass. In pure inference the old eager engine freed each
+  // intermediate when its Var left scope; recycling restores that peak.
+  const bool recycle = !any_requires_grad;
+  std::unordered_map<Node*, std::int64_t> consumer_edges;
+  std::unordered_map<Node*, std::int64_t> remaining;
+  if (recycle) {
+    for (const auto& n : order) {
+      for (const auto& in : n->inputs) ++consumer_edges[in.get()];
+    }
+    remaining = consumer_edges;
+  }
+
+  std::uint64_t recycled = 0;
+  for (const auto& n : order) {
+    execute_forward(*n);
+    assert(n->value.shape() == n->shape &&
+           "shape inference disagrees with the kernel");
+    if (!recycle) continue;
+    for (const auto& in : n->inputs) {
+      const auto it = remaining.find(in.get());
+      if (it == remaining.end() || --(it->second) != 0) continue;
+      Node* c = in.get();
+      // Eligible: an op node scheduled this pass, gradient-free, not the
+      // root — and provably unreachable from outside the schedule: the only
+      // NodePtr refs are our order vector (1) plus its consumers' input
+      // edges. Any Var handle or out-of-schedule consumer raises use_count
+      // above that and vetoes the release.
+      if (c->kind == OpKind::kLeaf || c->requires_grad || c == root.get() ||
+          !visited.count(c)) {
+        continue;
+      }
+      const auto expected = 1 + consumer_edges[c];
+      if (static_cast<std::int64_t>(in.use_count()) == expected) {
+        c->value = Tensor();
+        c->value_released = true;
+        ++recycled;
+      }
+    }
+  }
+
+  // Gradient-free nodes never run backward; dropping their input edges
+  // releases subgraph metadata and mirrors the eager tape, which recorded
+  // no parents for them at all.
+  for (const auto& n : order) {
+    if (!n->requires_grad) n->inputs.clear();
+  }
+
+  BD_OBS_COUNT("autograd.nodes_materialized", order.size());
+  if (recycled > 0) BD_OBS_COUNT("autograd.values_recycled", recycled);
+}
+
+void run_backward(const NodePtr& root) {
+  if (shape_numel(root->shape) != 1) {
+    throw std::logic_error("Var::backward requires a scalar output, got " +
+                           shape_string(root->shape));
+  }
+  materialize(root);
+
+  // Reverse topological order via iterative DFS over grad-requiring edges —
+  // replicated exactly from the eager tape so gradient accumulation happens
+  // in the identical sequence (the float-addition order is part of the
+  // bitwise-determinism contract).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      Node* child = node->inputs[next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Backward steps execute over the reversed order; step s of node P's
+  // gradient buffer: born when its first consumer writes it, dead after
+  // P's own step reads it. Those lifetimes drive the arena plan.
+  std::unordered_map<Node*, std::int32_t> step_of;
+  step_of.reserve(order.size());
+  {
+    std::int32_t s = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it, ++s) {
+      step_of[*it] = s;
+    }
+  }
+  Node* const root_raw = root.get();
+  std::unordered_map<Node*, std::int32_t> born;
+  {
+    std::int32_t s = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it, ++s) {
+      Node* node = *it;
+      if (node->is_leaf) continue;
+      for (const auto& in : node->inputs) {
+        Node* t = in.get();
+        if (!t->requires_grad || t->is_leaf || t == root_raw) continue;
+        const auto found = born.find(t);
+        if (found == born.end()) {
+          born.emplace(t, s);
+        } else if (s < found->second) {
+          found->second = s;
+        }
+      }
+    }
+  }
+  std::vector<BufferLifetime> lifetimes;
+  std::unordered_map<Node*, std::size_t> lifetime_of;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->is_leaf || node == root_raw) continue;
+    const auto b = born.find(node);
+    if (b == born.end()) continue;  // no in-graph consumer writes it
+    lifetime_of.emplace(node, lifetimes.size());
+    lifetimes.push_back(BufferLifetime{shape_numel(node->shape), b->second,
+                                       step_of.at(node)});
+  }
+
+  const BufferPlan plan = plan_buffers(lifetimes);
+  GradArena& arena = GradArena::local();
+  const std::uint64_t reused_before = arena.stats().buffers_reused;
+  arena.prepare(plan);
+  BD_OBS_GAUGE("autograd.arena_peak_bytes", plan.peak_bytes);
+
+  const GradSink sink = [&](const NodePtr& target, const Tensor& g) {
+    // backprop_to of the eager tape: ignore non-grad operands, reduce
+    // broadcast gradients back to the operand shape, then accumulate.
+    if (!target || !target->requires_grad) return;
+    Node* t = target.get();
+    const bool reduce = g.shape() != t->shape;
+    const Tensor gg = reduce ? reduce_to_shape(g, t->shape) : Tensor();
+    const Tensor& contribution = reduce ? gg : g;
+    if (t->is_leaf || t == root_raw) {
+      t->accumulate_grad(contribution);
+      return;
+    }
+    if (!t->grad.defined()) {
+      Tensor slot = arena.acquire(lifetime_of.at(t), t->shape);
+      std::copy(contribution.data(), contribution.data() + contribution.numel(),
+                slot.data());
+      t->grad = std::move(slot);
+    } else {
+      axpy_inplace(t->grad, 1.0f, contribution);
+    }
+  };
+
+  root->accumulate_grad(Tensor::ones(root->value.shape()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (!node->is_leaf && node->grad.defined()) {
+      execute_backward(*node, sink);
+    }
+    if (!node->is_leaf && node != root_raw) {
+      node->grad = Tensor();  // return the transient slot to the arena
+    }
+  }
+
+  BD_OBS_COUNT("autograd.backward_passes", 1);
+  BD_OBS_COUNT("autograd.arena_buffers_reused",
+               arena.stats().buffers_reused - reused_before);
+}
+
+}  // namespace bd::ag

@@ -1,24 +1,10 @@
 #include "autograd/variable.h"
 
 #include <stdexcept>
-#include <unordered_set>
 
-#include "tensor/ops.h"
+#include "autograd/schedule.h"
 
 namespace bd::ag {
-
-void Node::accumulate_grad(const Tensor& g) {
-  if (g.shape() != value.shape()) {
-    throw std::logic_error(std::string("accumulate_grad(") + op_name +
-                           "): gradient shape " + shape_string(g.shape()) +
-                           " != value shape " + shape_string(value.shape()));
-  }
-  if (!grad.defined()) {
-    grad = g.clone();
-  } else {
-    axpy_inplace(grad, 1.0f, g);
-  }
-}
 
 namespace {
 thread_local bool g_grad_enabled = true;
@@ -33,47 +19,27 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
 Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->shape = value.shape();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
   node_->is_leaf = true;
 }
 
-Var Var::op_result(Tensor value, std::vector<Var> parents,
-                   std::function<void(Node&)> backward_fn,
-                   const char* op_name) {
+Var Var::from_node(NodePtr node) {
   Var out;
-  out.node_ = std::make_shared<Node>();
-  out.node_->value = std::move(value);
-  out.node_->op_name = op_name;
-  out.node_->is_leaf = true;
-
-  if (!grad_recording_enabled()) return out;
-
-  bool any_requires = false;
-  for (const auto& p : parents) {
-    if (p.defined() && p.requires_grad()) {
-      any_requires = true;
-      break;
-    }
-  }
-  if (!any_requires) return out;
-
-  out.node_->requires_grad = true;
-  out.node_->is_leaf = false;
-  out.node_->backward_fn = std::move(backward_fn);
-  for (auto& p : parents) {
-    if (p.defined()) out.node_->parents.push_back(p.node());
-  }
+  out.node_ = std::move(node);
   return out;
 }
 
 const Tensor& Var::value() const {
   if (!node_) throw std::logic_error("Var::value on undefined Var");
+  if (!node_->value.defined()) materialize(node_);
   return node_->value;
 }
 
 Tensor& Var::mutable_value() {
   if (!node_) throw std::logic_error("Var::mutable_value on undefined Var");
+  if (!node_->value.defined()) materialize(node_);
   return node_->value;
 }
 
@@ -90,49 +56,23 @@ bool Var::requires_grad() const { return node_ && node_->requires_grad; }
 
 bool Var::is_leaf() const { return node_ && node_->is_leaf; }
 
+const Shape& Var::shape() const {
+  if (!node_) throw std::logic_error("Var::shape on undefined Var");
+  return node_->shape;
+}
+
 void Var::zero_grad() {
   if (node_) node_->grad = Tensor();
 }
 
 void Var::backward() {
   if (!node_) throw std::logic_error("Var::backward on undefined Var");
-  if (node_->value.numel() != 1) {
-    throw std::logic_error("Var::backward requires a scalar output, got " +
-                           shape_string(node_->value.shape()));
-  }
-
-  // Topological order via iterative DFS.
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack;
-  stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
-  while (!stack.empty()) {
-    auto& [node, next_child] = stack.back();
-    if (next_child < node->parents.size()) {
-      Node* child = node->parents[next_child++].get();
-      if (child->requires_grad && !visited.count(child)) {
-        visited.insert(child);
-        stack.emplace_back(child, 0);
-      }
-    } else {
-      order.push_back(node);
-      stack.pop_back();
-    }
-  }
-
-  node_->accumulate_grad(Tensor::ones(node_->value.shape()));
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* node = *it;
-    if (node->backward_fn && node->grad.defined()) {
-      node->backward_fn(*node);
-    }
-  }
+  run_backward(node_);
 }
 
 Var Var::detach() const {
   if (!node_) return Var();
-  return Var(node_->value, /*requires_grad=*/false);
+  return Var(value(), /*requires_grad=*/false);
 }
 
 }  // namespace bd::ag

@@ -1,43 +1,31 @@
-// Reverse-mode automatic differentiation.
+// Reverse-mode automatic differentiation over a lazy graph IR.
 //
-// A Var is a handle to a graph node holding a Tensor value and (after
-// backward()) a gradient. Operations in autograd/ops.h build the graph
-// dynamically; Var::backward() runs reverse topological accumulation.
+// A Var is a handle to a graph node (see graph.h). Operations in
+// autograd/ops.h are graph BUILDERS: they validate and infer shapes
+// immediately (shape_infer.h) but run no kernels. Execution happens at the
+// value()/backward() boundaries through the deterministic scheduler in
+// schedule.h, which also plans arena-backed gradient buffers (arena.h).
+// The API is source-compatible with the old eager tape; shape() now
+// reports the build-time inferred shape without forcing execution.
+//
 // The defense code consumes exactly these gradients: the paper's filter
 // score xi (Eq. 3) is the mean absolute entry of a conv weight's grad under
 // the unlearning loss (Eq. 2).
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <string>
-#include <vector>
 
+#include "autograd/graph.h"
 #include "tensor/tensor.h"
 
 namespace bd::ag {
 
-struct Node;
-using NodePtr = std::shared_ptr<Node>;
-
-struct Node {
-  Tensor value;
-  Tensor grad;  // undefined until first accumulation
-  bool requires_grad = false;
-  bool is_leaf = true;
-  std::vector<NodePtr> parents;
-  /// Propagates this node's grad into parents' grads. Null for leaves.
-  std::function<void(Node&)> backward_fn;
-  const char* op_name = "leaf";
-
-  /// Adds g to this node's grad (allocating it on first use).
-  void accumulate_grad(const Tensor& g);
-};
-
-/// True while gradient recording is disabled (see NoGradGuard).
+/// True while gradient recording is enabled (see NoGradGuard).
 bool grad_recording_enabled();
 
-/// RAII scope that disables graph construction (inference / evaluation).
+/// RAII scope that disables gradient recording (inference / evaluation).
+/// Ops built inside still join the lazy graph so their values can be
+/// computed on demand, but they are terminals for backward().
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -57,12 +45,11 @@ class Var {
   /// Leaf node wrapping `value`.
   explicit Var(Tensor value, bool requires_grad = false);
 
-  /// Interior node produced by an op.
-  static Var op_result(Tensor value, std::vector<Var> parents,
-                       std::function<void(Node&)> backward_fn,
-                       const char* op_name);
+  /// Handle adopting an existing node (used by the ops.h builders).
+  static Var from_node(NodePtr node);
 
   bool defined() const { return static_cast<bool>(node_); }
+  /// The node's value, materializing the pending subgraph if needed.
   const Tensor& value() const;
   /// Mutable access for optimizers; only valid on leaves.
   Tensor& mutable_value();
@@ -70,7 +57,8 @@ class Var {
   bool has_grad() const;
   bool requires_grad() const;
   bool is_leaf() const;
-  const Shape& shape() const { return value().shape(); }
+  /// Build-time inferred shape; never triggers execution.
+  const Shape& shape() const;
 
   /// Clears this node's gradient.
   void zero_grad();
@@ -78,7 +66,8 @@ class Var {
   /// Runs reverse-mode accumulation from this (scalar) node.
   void backward();
 
-  /// Leaf sharing this node's value tensor, detached from the graph.
+  /// Leaf sharing this node's (materialized) value, detached from the
+  /// graph.
   Var detach() const;
 
   NodePtr node() const { return node_; }

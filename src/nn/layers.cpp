@@ -119,11 +119,11 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 
 ag::Var Linear::forward(const ag::Var& x) {
   ag::Var input = x;
-  if (x.value().dim() == 4) input = ag::flatten2d(x);
-  if (input.value().dim() != 2 || input.value().size(1) != in_features_) {
+  if (x.shape().size() == 4) input = ag::flatten2d(x);
+  if (input.shape().size() != 2 || input.shape()[1] != in_features_) {
     throw std::invalid_argument("Linear: expected (N, " +
                                 std::to_string(in_features_) + "), got " +
-                                shape_string(x.value().shape()));
+                                shape_string(x.shape()));
   }
   ag::Var out = ag::matmul(input, weight_);
   return ag::add(out, ag::reshape(bias_, {1, out_features_}));
@@ -146,13 +146,13 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
 }
 
 ag::Var BatchNorm2d::forward(const ag::Var& x) {
-  if (x.value().dim() != 4 || x.value().size(1) != channels_) {
+  if (x.shape().size() != 4 || x.shape()[1] != channels_) {
     throw std::invalid_argument("BatchNorm2d: expected (N," +
                                 std::to_string(channels_) + ",H,W), got " +
-                                shape_string(x.value().shape()));
+                                shape_string(x.shape()));
   }
   const Shape cshape{1, channels_, 1, 1};
-  BD_OBS_KERNEL("kernel.batchnorm", x.value().numel());
+  BD_OBS_KERNEL("kernel.batchnorm", shape_numel(x.shape()));
 
   // Effective scale: gamma, optionally perturbed (ANP's adversarial inner
   // step). The ANP channel mask multiplies the whole affine OUTPUT below
@@ -220,7 +220,7 @@ SEBlock::SEBlock(std::int64_t channels, std::int64_t reduction, Rng& rng)
 }
 
 ag::Var SEBlock::forward(const ag::Var& x) {
-  const std::int64_t n = x.value().size(0);
+  const std::int64_t n = x.shape()[0];
   ag::Var squeezed = ag::global_avgpool(x);                 // (N,C,1,1)
   squeezed = ag::reshape(squeezed, {n, channels_});         // (N,C)
   ag::Var attn = ag::relu(fc1_.forward(squeezed));

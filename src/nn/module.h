@@ -7,6 +7,7 @@
 // traversal (the pruning defenses walk all Conv2d / BatchNorm2d layers).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>

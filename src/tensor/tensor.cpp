@@ -57,6 +57,25 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::scalar(float value) { return Tensor({}, {value}); }
 
+Tensor Tensor::wrap_storage(std::shared_ptr<std::vector<float>> storage,
+                            Shape shape) {
+  if (!storage) {
+    throw std::invalid_argument("Tensor::wrap_storage: null storage");
+  }
+  const std::int64_t n = shape_numel(shape);
+  if (static_cast<std::int64_t>(storage->size()) < n) {
+    throw std::invalid_argument("Tensor::wrap_storage: storage of " +
+                                std::to_string(storage->size()) +
+                                " elements too small for shape " +
+                                shape_string(shape));
+  }
+  Tensor t;
+  t.storage_ = std::move(storage);
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  return t;
+}
+
 std::int64_t Tensor::size(std::int64_t d) const {
   if (d < 0) d += dim();
   if (d < 0 || d >= dim()) {

@@ -39,6 +39,13 @@ class Tensor {
   static Tensor full(Shape shape, float value);
   static Tensor scalar(float value);
 
+  /// Tensor viewing `storage` (no copy) as `shape`. The storage may be
+  /// larger than the shape requires — the autograd arena hands out slots
+  /// sized for the largest gradient that ever occupies them. Throws
+  /// std::invalid_argument on null or too-small storage.
+  static Tensor wrap_storage(std::shared_ptr<std::vector<float>> storage,
+                             Shape shape);
+
   /// True when this tensor was constructed with a shape (not default).
   bool defined() const { return static_cast<bool>(storage_); }
 

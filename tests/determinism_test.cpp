@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -207,6 +208,81 @@ TEST(Determinism, ObservabilityInvariance) {
   for (const auto& [name, tensor] : plain) {
     expect_identical(tensor, observed.at(name), name.c_str());
   }
+}
+
+// The graph-IR rewrite of src/autograd (lazy building, topological
+// scheduling, arena-backed backward buffers) is pinned to the eager tape it
+// replaced: this golden FNV-1a hash of a full poison -> train -> Grad-Prune
+// -> evaluate pipeline was captured from the pre-refactor engine and must
+// keep reproducing bit for bit, at every thread count. If any scheduling,
+// recycling or arena change perturbs a single bit of any weight, the
+// accuracy, or the pruned-unit count, this fails.
+TEST(Determinism, GraphIRInvariance) {
+  constexpr std::uint64_t kGoldenHash = 0xe9a3c98b7dbcddf3ull;
+
+  const auto fnv1a_mix = [](std::uint64_t h, const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+
+  const auto pipeline_hash = [&fnv1a_mix] {
+    Rng rng(55);
+    data::SynthConfig dcfg;
+    dcfg.height = dcfg.width = 8;
+    dcfg.train_per_class = 6;
+    dcfg.test_per_class = 2;
+    const auto data = data::make_synth_cifar(dcfg, rng);
+
+    models::ModelSpec spec{"vgg", 10, 3, 8};
+    attack::BadNetsTrigger trigger;
+
+    Rng train_rng(59);
+    auto model = models::make_model(spec, train_rng);
+    attack::PoisonConfig pcfg;
+    const auto poisoned =
+        attack::poison_training_set(data.train, trigger, pcfg, train_rng);
+    eval::TrainConfig tc;
+    tc.epochs = 2;
+    eval::train_classifier(*model, poisoned, tc, train_rng);
+
+    Rng defend_rng(61);
+    const auto spc = data.train.sample_per_class(3, defend_rng);
+    const auto ctx =
+        defense::make_defense_context(spc, trigger, spec, defend_rng);
+    core::GradPruneConfig cfg;
+    cfg.max_prune_rounds = 3;
+    cfg.finetune_max_epochs = 1;
+    core::GradPruneDefense defense(cfg);
+    const auto result = defense.apply(*model, ctx);
+
+    const double acc = eval::accuracy(*model, data.test);
+
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto& [name, tensor] : model->state_dict()) {
+      h = fnv1a_mix(h, name.data(), name.size());
+      for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+        const float v = tensor[i];
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = fnv1a_mix(h, &bits, sizeof(bits));
+      }
+    }
+    std::uint64_t acc_bits;
+    std::memcpy(&acc_bits, &acc, sizeof(acc_bits));
+    h = fnv1a_mix(h, &acc_bits, sizeof(acc_bits));
+    h = fnv1a_mix(h, &result.pruned_units, sizeof(result.pruned_units));
+    return h;
+  };
+
+  for (const int threads : {1, 2, 4, 8}) {
+    runtime::set_thread_count(threads);
+    EXPECT_EQ(pipeline_hash(), kGoldenHash) << threads << " threads";
+  }
+  runtime::set_thread_count(0);
 }
 
 TEST(Determinism, EvaluationIsPure) {

@@ -1,0 +1,631 @@
+// Finite-difference gradient verification for the graph-IR autograd.
+//
+// This is the gate on the src/autograd rewrite: every differentiable op in
+// autograd/ops.h is checked against central differences, swept over odd
+// shapes, broadcast pairs (including stride-zero stretched dimensions) and
+// reduction-axis variants, with per-op mixed absolute/relative tolerances
+// in the check_numerical_grads idiom. A stride-zero reference oracle
+// cross-checks the broadcast normalization in autograd/shape_infer.h
+// against the elementwise kernels bit for bit, and an end-to-end test
+// verifies the Grad-Prune unlearning loss (cross-entropy on trigger-stamped
+// images through a conv/batchnorm net) so the paper's filter scores (Eq. 3)
+// rest on provably correct gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "attack/trigger.h"
+#include "autograd/ops.h"
+#include "autograd/shape_infer.h"
+#include "autograd/variable.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace bd::ag {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng, float lo = -1.0f,
+                     float hi = 1.0f) {
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+/// Moves every element at least `margin` away from each kink so central
+/// differences never straddle a non-differentiable point.
+Tensor away_from(Tensor t, const std::vector<float>& kinks, float margin) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    for (const float k : kinks) {
+      if (std::fabs(t[i] - k) < margin) {
+        t[i] = k + std::copysign(margin, t[i] - k == 0.0f ? 1.0f : t[i] - k);
+      }
+    }
+  }
+  return t;
+}
+
+/// Tensor whose elements form a permutation with pairwise gaps >= 0.1 —
+/// maxpool argmax selections stay stable under +-eps perturbation.
+Tensor distinct_tensor(const Shape& shape, float scale = 0.1f) {
+  Tensor t(shape);
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // 7919 is prime, so i -> i*7919 mod n is a permutation whenever n is
+    // not a multiple of it (always true for test-sized tensors).
+    t[i] = static_cast<float>((i * 7919) % n) * scale -
+           static_cast<float>(n) * scale * 0.5f;
+  }
+  return t;
+}
+
+struct GradCheckOpts {
+  float eps = 1e-3f;
+  double rtol = 1e-2;
+  double atol = 1e-3;
+};
+
+/// Central-difference check of d(fn)/d(inputs[k]) for every input element,
+/// with the mixed tolerance |analytic - numeric| <= atol + rtol*max(|.|).
+void check_numerical_grads(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    const std::vector<Tensor>& input_values, const GradCheckOpts& opts = {}) {
+  std::vector<Var> inputs;
+  inputs.reserve(input_values.size());
+  for (const auto& v : input_values) {
+    inputs.emplace_back(v.clone(), /*requires_grad=*/true);
+  }
+  Var out = fn(inputs);
+  ASSERT_EQ(shape_numel(out.shape()), 1)
+      << "gradient check needs a scalar output";
+  out.backward();
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ASSERT_TRUE(inputs[k].has_grad()) << "input " << k << " got no gradient";
+    const Tensor& analytic = inputs[k].grad();
+    for (std::int64_t i = 0; i < input_values[k].numel(); ++i) {
+      const auto eval_at = [&](float delta) {
+        std::vector<Var> probe;
+        probe.reserve(input_values.size());
+        for (std::size_t j = 0; j < input_values.size(); ++j) {
+          Tensor t = input_values[j].clone();
+          if (j == k) t[i] += delta;
+          probe.emplace_back(std::move(t), false);
+        }
+        NoGradGuard guard;
+        return static_cast<double>(fn(probe).value()[0]);
+      };
+      const double numeric =
+          (eval_at(opts.eps) - eval_at(-opts.eps)) / (2.0 * opts.eps);
+      const double a = analytic[i];
+      const double bound =
+          opts.atol + opts.rtol * std::max(std::fabs(a), std::fabs(numeric));
+      EXPECT_NEAR(a, numeric, bound)
+          << "input " << k << " element " << i << " of shape "
+          << shape_string(input_values[k].shape());
+    }
+  }
+}
+
+/// Weighted scalar head: sum(w * x) with a fixed, grad-free weight, so the
+/// upstream gradient reaching the op under test is non-uniform.
+Var weighted_sum(const Var& x, const Tensor& w) {
+  return sum_all(mul(x, Var(w)));
+}
+
+// Broadcast pairs: equal shapes, stretched dims on either side, missing
+// leading dims, rank-0 against rank-1, and a doubly-stretched pair.
+const std::vector<std::pair<Shape, Shape>>& broadcast_pairs() {
+  static const std::vector<std::pair<Shape, Shape>> pairs = {
+      {{3, 4}, {3, 4}},     {{3, 1}, {1, 4}},  {{2, 3, 4}, {4}},
+      {{5}, {}},            {{2, 1, 3}, {4, 1}}, {{1}, {3, 2, 1}},
+  };
+  return pairs;
+}
+
+const std::vector<Shape>& odd_shapes() {
+  static const std::vector<Shape> shapes = {{7}, {3, 5}, {2, 3, 5}, {1, 1, 3}};
+  return shapes;
+}
+
+// ---------------------------------------------------------------------------
+// Stride-zero broadcast oracle: shape_infer vs the elementwise kernels
+// ---------------------------------------------------------------------------
+
+// Reference elementwise add that reads both operands through the stride
+// vectors of shape_infer::broadcast_strides (0 on stretched dims). Must
+// match the kernel bit for bit — same pairing, same single float add.
+Tensor oracle_broadcast_add(const Tensor& a, const Tensor& b) {
+  const Shape out_shape = broadcast_result(a.shape(), b.shape(), "oracle");
+  const auto sa = broadcast_strides(a.shape(), out_shape);
+  const auto sb = broadcast_strides(b.shape(), out_shape);
+  const auto so = contiguous_strides(out_shape);
+  Tensor out(out_shape);
+  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
+    std::int64_t ia = 0, ib = 0, rem = flat;
+    for (std::size_t d = 0; d < out_shape.size(); ++d) {
+      const std::int64_t coord = rem / so[d];
+      rem %= so[d];
+      ia += coord * sa[d];
+      ib += coord * sb[d];
+    }
+    out[flat] = a[ia] + b[ib];
+  }
+  return out;
+}
+
+TEST(BroadcastOracle, StrideZeroReferenceMatchesKernelBitwise) {
+  Rng rng(31);
+  for (const auto& [sa, sb] : broadcast_pairs()) {
+    const Tensor a = random_tensor(sa, rng);
+    const Tensor b = random_tensor(sb, rng);
+    const Tensor expect = oracle_broadcast_add(a, b);
+    const Tensor got = bd::add(a, b);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got[i], expect[i]) << "element " << i << " of "
+                                   << shape_string(got.shape());
+    }
+  }
+}
+
+TEST(ShapeInfer, RejectsIncompatibleAndMalformed) {
+  EXPECT_THROW(broadcast_result({2, 3}, {4, 3, 2}, "t"),
+               std::invalid_argument);
+  EXPECT_THROW(broadcast_strides({3, 2}, {3, 4}), std::invalid_argument);
+  EXPECT_THROW(matmul_result({2, 3}, {4, 5}), std::invalid_argument);
+  EXPECT_THROW(reduce_result({2, 3}, {2}, false), std::invalid_argument);
+  EXPECT_EQ(reduce_result({2, 3, 4}, {-1, 0}, false), (Shape{3}));
+  EXPECT_EQ(reduce_result({2, 3, 4}, {1}, true), (Shape{2, 1, 4}));
+  const Conv2dSpec spec{1, 1};
+  EXPECT_THROW(conv2d_result({2, 3, 5, 5}, {4, 2, 3, 3}, nullptr, spec,
+                             false),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise binaries over broadcast pairs
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckSweep, AddSubBroadcast) {
+  Rng rng(101);
+  for (const auto& [sa, sb] : broadcast_pairs()) {
+    const Tensor w =
+        random_tensor(broadcast_result(sa, sb, "t"), rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(add(in[0], in[1]), w);
+        },
+        {random_tensor(sa, rng), random_tensor(sb, rng)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(sub(in[0], in[1]), w);
+        },
+        {random_tensor(sa, rng), random_tensor(sb, rng)});
+  }
+}
+
+TEST(GradCheckSweep, MulDivBroadcast) {
+  Rng rng(102);
+  for (const auto& [sa, sb] : broadcast_pairs()) {
+    const Tensor w = random_tensor(broadcast_result(sa, sb, "t"), rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(mul(in[0], in[1]), w);
+        },
+        {random_tensor(sa, rng), random_tensor(sb, rng)});
+    // Denominator bounded away from zero.
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(div(in[0], in[1]), w);
+        },
+        {random_tensor(sa, rng), random_tensor(sb, rng, 0.5f, 1.5f)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-argument and unary elementwise ops over odd shapes
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckSweep, ScalarOps) {
+  Rng rng(103);
+  for (const Shape& s : odd_shapes()) {
+    const Tensor w = random_tensor(s, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(add_scalar(in[0], 0.37f), w);
+        },
+        {random_tensor(s, rng)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(mul_scalar(in[0], -2.5f), w);
+        },
+        {random_tensor(s, rng)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(neg(in[0]), w);
+        },
+        {random_tensor(s, rng)});
+  }
+}
+
+TEST(GradCheckSweep, ExpLogSqrtPow) {
+  Rng rng(104);
+  for (const Shape& s : odd_shapes()) {
+    const Tensor w = random_tensor(s, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(exp(in[0]), w);
+        },
+        {random_tensor(s, rng)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(log(in[0]), w);
+        },
+        {random_tensor(s, rng, 0.5f, 2.0f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(sqrt(in[0]), w);
+        },
+        {random_tensor(s, rng, 0.5f, 2.0f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(pow_scalar(in[0], 2.3f), w);
+        },
+        {random_tensor(s, rng, 0.5f, 2.0f)});
+  }
+}
+
+TEST(GradCheckSweep, AbsClamp) {
+  Rng rng(105);
+  for (const Shape& s : odd_shapes()) {
+    const Tensor w = random_tensor(s, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(abs(in[0]), w);
+        },
+        {away_from(random_tensor(s, rng), {0.0f}, 0.05f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(clamp(in[0], -0.5f, 0.5f), w);
+        },
+        {away_from(random_tensor(s, rng), {-0.5f, 0.5f}, 0.05f)});
+  }
+}
+
+TEST(GradCheckSweep, Activations) {
+  Rng rng(106);
+  for (const Shape& s : odd_shapes()) {
+    const Tensor w = random_tensor(s, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(relu(in[0]), w);
+        },
+        {away_from(random_tensor(s, rng), {0.0f}, 0.05f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(sigmoid(in[0]), w);
+        },
+        {random_tensor(s, rng, -3.0f, 3.0f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(tanh(in[0]), w);
+        },
+        {random_tensor(s, rng, -2.0f, 2.0f)});
+    // Sweep across both saturation regions and the linear band, keeping
+    // clear of the +-3 kinks.
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(hardsigmoid(in[0]), w);
+        },
+        {away_from(random_tensor(s, rng, -5.0f, 5.0f), {-3.0f, 3.0f},
+                   0.05f)});
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(hardswish(in[0]), w);
+        },
+        {away_from(random_tensor(s, rng, -5.0f, 5.0f), {-3.0f, 3.0f},
+                   0.05f)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops and reductions
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckSweep, ReshapeFlatten) {
+  Rng rng(107);
+  const Tensor w = random_tensor({4, 6}, rng);
+  check_numerical_grads(
+      [&w](const std::vector<Var>& in) {
+        return weighted_sum(reshape(in[0], {4, 6}), w);
+      },
+      {random_tensor({2, 3, 4}, rng)});
+  const Tensor wf = random_tensor({2, 12}, rng);
+  check_numerical_grads(
+      [&wf](const std::vector<Var>& in) {
+        return weighted_sum(flatten2d(in[0]), wf);
+      },
+      {random_tensor({2, 3, 2, 2}, rng)});
+}
+
+TEST(GradCheckSweep, ReduceSumAxes) {
+  Rng rng(108);
+  const Shape s{2, 3, 4};
+  const struct {
+    std::vector<std::int64_t> axes;
+    bool keepdim;
+  } cases[] = {
+      {{0}, false}, {{1}, false}, {{0, 2}, false},
+      {{-1}, false}, {{1}, true}, {{0, 1, 2}, false},
+  };
+  for (const auto& c : cases) {
+    const Tensor w =
+        random_tensor(reduce_result(s, c.axes, c.keepdim), rng);
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(reduce_sum(in[0], c.axes, c.keepdim), w);
+        },
+        {random_tensor(s, rng)});
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(reduce_mean(in[0], c.axes, c.keepdim), w);
+        },
+        {random_tensor(s, rng)});
+  }
+}
+
+TEST(GradCheckSweep, SumAllMeanAll) {
+  Rng rng(109);
+  for (const Shape& s : odd_shapes()) {
+    check_numerical_grads(
+        [](const std::vector<Var>& in) { return sum_all(in[0]); },
+        {random_tensor(s, rng)});
+    check_numerical_grads(
+        [](const std::vector<Var>& in) { return mean_all(in[0]); },
+        {random_tensor(s, rng)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra, convolution, pooling
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckSweep, Matmul) {
+  Rng rng(110);
+  GradCheckOpts opts;
+  opts.rtol = 2e-2;
+  const std::vector<std::pair<Shape, Shape>> cases = {
+      {{3, 4}, {4, 5}}, {{1, 3}, {3, 2}}, {{5, 1}, {1, 3}}};
+  for (const auto& [sa, sb] : cases) {
+    const Tensor w = random_tensor({sa[0], sb[1]}, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(matmul(in[0], in[1]), w);
+        },
+        {random_tensor(sa, rng), random_tensor(sb, rng)}, opts);
+  }
+}
+
+TEST(GradCheckSweep, Conv2dVariants) {
+  Rng rng(111);
+  GradCheckOpts opts;
+  opts.rtol = 2e-2;
+  opts.atol = 5e-3;
+  {
+    // Stride 1, padding 1, with bias.
+    const Conv2dSpec spec{1, 1};
+    const Tensor w = random_tensor({2, 4, 5, 5}, rng);
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(conv2d(in[0], in[1], in[2], spec), w);
+        },
+        {random_tensor({2, 3, 5, 5}, rng), random_tensor({4, 3, 3, 3}, rng),
+         random_tensor({4}, rng)},
+        opts);
+  }
+  {
+    // Stride 2, no padding, bias-free (undefined bias Var).
+    const Conv2dSpec spec{2, 0};
+    const Tensor w = random_tensor({1, 2, 2, 2}, rng);
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(conv2d(in[0], in[1], Var(), spec), w);
+        },
+        {random_tensor({1, 2, 5, 5}, rng), random_tensor({2, 2, 3, 3}, rng)},
+        opts);
+  }
+}
+
+TEST(GradCheckSweep, DepthwiseConv2d) {
+  Rng rng(112);
+  GradCheckOpts opts;
+  opts.rtol = 2e-2;
+  opts.atol = 5e-3;
+  const Conv2dSpec spec{1, 1};
+  const Tensor w = random_tensor({2, 3, 5, 5}, rng);
+  check_numerical_grads(
+      [&](const std::vector<Var>& in) {
+        return weighted_sum(depthwise_conv2d(in[0], in[1], in[2], spec), w);
+      },
+      {random_tensor({2, 3, 5, 5}, rng), random_tensor({3, 1, 3, 3}, rng),
+       random_tensor({3}, rng)},
+      opts);
+}
+
+TEST(GradCheckSweep, Pooling) {
+  Rng rng(113);
+  const Pool2dSpec spec{2, 2, 0};
+  {
+    const Tensor w = random_tensor({1, 2, 2, 2}, rng);
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(maxpool2d(in[0], spec), w);
+        },
+        {distinct_tensor({1, 2, 5, 5})});
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(avgpool2d(in[0], spec), w);
+        },
+        {random_tensor({1, 2, 5, 5}, rng)});
+  }
+  {
+    const Tensor w = random_tensor({2, 3, 1, 1}, rng);
+    check_numerical_grads(
+        [&](const std::vector<Var>& in) {
+          return weighted_sum(global_avgpool(in[0]), w);
+        },
+        {random_tensor({2, 3, 3, 5}, rng)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckSweep, LogSoftmax) {
+  Rng rng(114);
+  for (const Shape s : {Shape{3, 5}, Shape{1, 7}, Shape{4, 2}}) {
+    const Tensor w = random_tensor(s, rng);
+    check_numerical_grads(
+        [&w](const std::vector<Var>& in) {
+          return weighted_sum(log_softmax(in[0]), w);
+        },
+        {random_tensor(s, rng, -2.0f, 2.0f)});
+  }
+}
+
+TEST(GradCheckSweep, NllAndCrossEntropy) {
+  Rng rng(115);
+  const std::vector<std::int64_t> labels{2, 0, 4};
+  check_numerical_grads(
+      [&labels](const std::vector<Var>& in) {
+        return nll_loss(log_softmax(in[0]), labels);
+      },
+      {random_tensor({3, 5}, rng, -2.0f, 2.0f)});
+  check_numerical_grads(
+      [&labels](const std::vector<Var>& in) {
+        return cross_entropy(in[0], labels);
+      },
+      {random_tensor({3, 5}, rng, -2.0f, 2.0f)});
+}
+
+TEST(GradCheckSweep, MseLoss) {
+  Rng rng(116);
+  for (const Shape& s : odd_shapes()) {
+    check_numerical_grads(
+        [](const std::vector<Var>& in) { return mse_loss(in[0], in[1]); },
+        {random_tensor(s, rng), random_tensor(s, rng)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the Grad-Prune unlearning loss
+// ---------------------------------------------------------------------------
+
+// Numeric gradient of the unlearning loss (batch-size-scaled cross-entropy
+// on trigger-stamped images, model in eval mode — exactly what
+// core::score_filters differentiates) w.r.t. the first conv's weights.
+// Filter scores are the mean |grad| over these entries (Eq. 3), so this
+// pins their correctness end to end.
+TEST(GradCheckE2E, UnlearnLossFilterGradients) {
+  Rng rng(777);
+  nn::Conv2d conv(3, 4, 3, 1, 1, /*bias=*/true, rng);
+  nn::BatchNorm2d bn(4);
+  nn::Linear head(4 * 4 * 4, 10, rng);
+  conv.set_training(false);
+  bn.set_training(false);
+  head.set_training(false);
+
+  // Trigger-stamped batch with true labels, as in the paper's Eq. 2 set.
+  const attack::BadNetsTrigger trigger;
+  const std::int64_t batch = 3;
+  Tensor images({batch, 3, 8, 8});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Tensor img = random_tensor({3, 8, 8}, rng, 0.0f, 1.0f);
+    const Tensor stamped = trigger.apply(img);
+    for (std::int64_t i = 0; i < stamped.numel(); ++i) {
+      images[b * stamped.numel() + i] = stamped[i];
+    }
+  }
+  const std::vector<std::int64_t> labels{1, 7, 3};
+  const Pool2dSpec pool{2, 2, 0};
+
+  const auto loss_value = [&]() {
+    const Var logits = head.forward(
+        flatten2d(maxpool2d(relu(bn.forward(conv.forward(Var(images)))),
+                            pool)));
+    return mul_scalar(cross_entropy(logits, labels),
+                      static_cast<float>(batch));
+  };
+
+  conv.zero_grad();
+  bn.zero_grad();
+  head.zero_grad();
+  Var loss = loss_value();
+  loss.backward();
+  ASSERT_TRUE(conv.weight().has_grad());
+  const Tensor analytic = conv.weight().grad().clone();
+
+  // Perturbing one conv weight by +-eps can flip a ReLU sign or a maxpool
+  // argmax somewhere in the feature map, putting a kink inside the central
+  // difference (possibly dead-center, where it corrupts every step size
+  // identically). So each probe also records the ReLU sign pattern and the
+  // maxpool argmax: when both are identical at +eps and -eps the loss
+  // restricted to that coordinate is smooth (affine ops and log-softmax
+  // only), the central difference is trustworthy to O(eps^2), and the
+  // analytic gradient must match it tightly. Elements that straddle a kink
+  // are skipped but counted — too many skips would make the check vacuous.
+  struct Probe {
+    double loss = 0.0;
+    std::vector<char> relu_sign;
+    std::vector<std::int64_t> argmax;
+  };
+  Tensor& w = conv.weight().mutable_value();
+  // Small eps: each weight influences ~200 pre-activations, and the chance
+  // of one sitting within eps*|x| of a kink scales with eps. At 3e-4 the
+  // centered difference still clears float32 rounding noise (loss is O(10),
+  // so the quotient noise is ~1e-3) by an order of magnitude.
+  const float eps = 3e-4f;
+  std::int64_t checked = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float saved = w[i];
+    const auto probe_at = [&](float delta) {
+      w[i] = saved + delta;
+      NoGradGuard guard;
+      Probe p;
+      const Tensor pre = bn.forward(conv.forward(Var(images))).value();
+      p.relu_sign.reserve(static_cast<std::size_t>(pre.numel()));
+      for (std::int64_t e = 0; e < pre.numel(); ++e) {
+        p.relu_sign.push_back(pre[e] > 0.0f ? 1 : 0);
+      }
+      const MaxPoolResult pooled = maxpool2d_forward(bd::relu(pre), pool);
+      p.argmax = pooled.argmax;
+      const Var logits = head.forward(flatten2d(Var(pooled.output)));
+      p.loss = static_cast<double>(
+          mul_scalar(cross_entropy(logits, labels),
+                     static_cast<float>(batch))
+              .value()[0]);
+      return p;
+    };
+    const Probe hi = probe_at(eps);
+    const Probe lo = probe_at(-eps);
+    w[i] = saved;
+    if (hi.relu_sign != lo.relu_sign || hi.argmax != lo.argmax) continue;
+    ++checked;
+    const double numeric = (hi.loss - lo.loss) / (2.0 * eps);
+    const double bound =
+        5e-3 + 2e-2 * std::max(std::fabs(numeric),
+                               std::fabs(static_cast<double>(analytic[i])));
+    EXPECT_NEAR(analytic[i], numeric, bound) << "conv weight element " << i;
+  }
+  EXPECT_GE(checked, w.numel() / 2)
+      << "too many elements sat on a ReLU/maxpool kink";
+}
+
+}  // namespace
+}  // namespace bd::ag

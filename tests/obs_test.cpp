@@ -13,6 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include "autograd/arena.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
@@ -381,6 +384,29 @@ TEST_F(ObsTest, KernelProbeRecordsWhenMetricsOn) {
             calls_before + 1);
   EXPECT_EQ(registry().counter("kernel.matmul.items").value(),
             items_before + 4u * 8u * 2u);
+}
+
+// The graph-IR scheduler reports its arena footprint: after a backward pass
+// with metrics on, the autograd.arena_peak_bytes gauge holds the plan's
+// peak (the same number GradArena::stats() carries) and the pass/planner
+// counters have moved.
+TEST_F(ObsTest, AutogradArenaGaugeRecordsBackwardFootprint) {
+  set_metrics_enabled(true);
+  const std::uint64_t passes_before =
+      registry().counter("autograd.backward_passes").value();
+
+  ag::Var a(Tensor({4, 4}), /*requires_grad=*/true);
+  for (std::int64_t i = 0; i < 16; ++i) a.mutable_value()[i] = 0.1f * i;
+  ag::Var loss = ag::sum_all(ag::mul(ag::relu(a), ag::sigmoid(a)));
+  loss.backward();
+
+  EXPECT_EQ(registry().counter("autograd.backward_passes").value(),
+            passes_before + 1);
+  EXPECT_GT(registry().counter("autograd.nodes_materialized").value(), 0u);
+  const double gauge = registry().gauge("autograd.arena_peak_bytes").value();
+  EXPECT_GT(gauge, 0.0);
+  EXPECT_EQ(gauge, static_cast<double>(
+                       ag::GradArena::local().stats().last_peak_bytes));
 }
 
 TEST_F(ObsTest, ResetValuesZeroesInPlace) {
