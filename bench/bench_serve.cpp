@@ -10,6 +10,13 @@
 // backbone + sanitize + evaluate); cache-hit latency is a separate,
 // near-free path that would only flatter the result.
 //
+// A second table measures the same workload end to end through each
+// transport (AF_UNIX vs TCP loopback): daemon in a thread, jobs submitted
+// and awaited through the retrying client. The delta against the
+// in-process number is the protocol + socket overhead; the delta between
+// the two transports is what moving off-box costs (minus real network
+// latency, which loopback cannot show).
+//
 // Besides the console table, a machine-readable summary goes to
 // BENCH_serve.json (override with BDPROTO_BENCH_JSON) so CI can archive
 // service throughput across commits.
@@ -18,11 +25,14 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "robust/supervisor.h"
 #include "util/atomic_file.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "serve/service.h"
 
 namespace {
@@ -93,8 +103,112 @@ RunResult run_at(std::size_t workers) {
   return result;
 }
 
-bool write_json(const std::string& path,
-                const std::vector<RunResult>& results) {
+struct TransportResult;
+bool write_json(const std::string& path, const std::vector<RunResult>& results,
+                const std::vector<TransportResult>& transports);
+
+struct TransportResult {
+  std::string transport;
+  double seconds = 0.0;
+  double jobs_per_min = 0.0;
+  std::int64_t done = 0;
+};
+
+std::string tiny_job_json(std::int64_t index) {
+  bd::serve::JsonObject job;
+  job.set_int("spc", 2)
+      .set_int("seed", 1234 + index)
+      .set_int("width", 4)
+      .set_int("attack_epochs", 1)
+      .set_int("prune_rounds", 2)
+      .set_int("finetune_epochs", 1)
+      .set_int("train_per_class", 4)
+      .set_int("test_per_class", 4);
+  return job.str();
+}
+
+/// End-to-end jobs/min through one transport: daemon thread + retrying
+/// client, 2 workers, same tiny jobs as the in-process table.
+TransportResult run_transport(bool tcp) {
+  bd::robust::Supervisor supervisor;
+  bd::serve::ServerConfig config;
+  config.service.workers = 2;
+  config.service.queue_capacity = static_cast<std::size_t>(kJobs);
+  config.service.tenant_quota = static_cast<std::size_t>(kJobs);
+  config.service.cache_capacity = 0;
+  config.service.supervisor = &supervisor;
+  const std::string socket_path = "bench_serve_transport.sock";
+  if (tcp) {
+    config.socket_path.clear();
+    config.listen_address = "127.0.0.1:0";  // ephemeral port
+  } else {
+    config.socket_path = socket_path;
+  }
+
+  bd::serve::SocketServer server(config);
+  std::thread daemon([&server] { server.run(); });
+  // Wait for the listener: TCP publishes its bound port, Unix its socket.
+  for (int i = 0; i < 200; ++i) {
+    if (tcp ? server.tcp_port() != 0
+            : bd::serve::Client(socket_path).alive()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const bd::serve::Endpoint endpoint =
+      tcp ? bd::serve::tcp_endpoint("127.0.0.1:" +
+                                    std::to_string(server.tcp_port()))
+          : bd::serve::unix_endpoint(socket_path);
+  const bd::serve::Client client(endpoint);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> ids;
+  for (std::int64_t i = 0; i < kJobs; ++i) {
+    bd::serve::JsonObject request;
+    request.set("op", "submit")
+        .set("tenant", "tenant" + std::to_string(i % kTenants))
+        .set_raw("job", tiny_job_json(i));
+    const bd::serve::Json response =
+        client.request_json_retry(request.str());
+    if (!response.get_bool("ok", false)) {
+      std::fprintf(stderr, "bench_serve: submit failed: %s\n",
+                   response.get_string("message").c_str());
+      std::exit(1);
+    }
+    ids.push_back(response.get_string("id"));
+  }
+  std::int64_t done = 0;
+  for (const std::string& id : ids) {
+    for (;;) {
+      const bd::serve::Json response = client.request_json_retry(
+          bd::serve::JsonObject().set("op", "wait").set("id", id).str());
+      if (response.get_bool("ok", false)) {
+        const bd::serve::Json* job = response.find("job");
+        if (job != nullptr && job->get_string("state") == "done") ++done;
+        break;
+      }
+      if (response.get_string("error") != "wait_timeout") break;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+
+  client.request_json_retry("{\"op\":\"shutdown\"}");
+  daemon.join();
+
+  TransportResult result;
+  result.transport = tcp ? "tcp" : "unix";
+  result.seconds = elapsed.count();
+  result.jobs_per_min =
+      elapsed.count() > 0
+          ? 60.0 * static_cast<double>(kJobs) / elapsed.count()
+          : 0.0;
+  result.done = done;
+  return result;
+}
+
+bool write_json(const std::string& path, const std::vector<RunResult>& results,
+                const std::vector<TransportResult>& transports) {
   std::ostringstream os;
   os << "{\"bench\":\"serve\",\"jobs\":" << kJobs
      << ",\"tenants\":" << kTenants << ",\"results\":[";
@@ -107,6 +221,17 @@ bool write_json(const std::string& path,
                   i ? "," : "", r.workers, r.seconds, r.jobs_per_min,
                   static_cast<long long>(r.done),
                   static_cast<long long>(r.failed));
+    os << line;
+  }
+  os << "\n],\"transports\":[";
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    const TransportResult& t = transports[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s\n{\"transport\":\"%s\",\"seconds\":%.3f,"
+                  "\"jobs_per_min\":%.2f,\"done\":%lld}",
+                  i ? "," : "", t.transport.c_str(), t.seconds,
+                  t.jobs_per_min, static_cast<long long>(t.done));
     os << line;
   }
   os << "\n]}\n";
@@ -135,11 +260,20 @@ int main() {
     results.push_back(r);
   }
 
+  std::vector<TransportResult> transports;
+  for (const bool tcp : {false, true}) {
+    const TransportResult t = run_transport(tcp);
+    std::printf("transport=%-5s  %6.2fs  %8.1f jobs/min  done=%lld\n",
+                t.transport.c_str(), t.seconds, t.jobs_per_min,
+                static_cast<long long>(t.done));
+    transports.push_back(t);
+  }
+
   const char* env_path = std::getenv("BDPROTO_BENCH_JSON");
   const std::string path = env_path != nullptr && env_path[0] != '\0'
                                ? env_path
                                : "BENCH_serve.json";
-  if (!write_json(path, results)) {
+  if (!write_json(path, results, transports)) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
     return 1;
   }

@@ -14,6 +14,7 @@
 // deterministically from the seed, so triggered test sets are identical
 // across invocations.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,20 +101,34 @@ int usage() {
                "             paths\n"
                "  serve    : --socket PATH --workers N --queue N --quota N "
                "--cache N\n"
-               "             --journal PATH --resume 0|1   (daemon; blocks "
-               "until shutdown)\n"
-               "  submit   : --socket PATH --tenant T [job flags: --dataset "
-               "--arch --attack\n"
-               "             --defense --spc --seed --width --attack-epochs "
-               "--prune-rounds\n"
-               "             --ft-epochs --train-per-class --test-per-class "
-               "--model --out]\n"
-               "             [--wait 1 --timeout SECS]\n"
-               "  jobs     : --socket PATH [--tenant T]\n"
-               "  cancel   : --socket PATH --id jNNNNNN\n"
-               "  shutdown : --socket PATH\n"
-               "  loadgen  : --socket PATH --jobs N --tenants K [--distinct "
-               "D] [job flags]\n"
+               "             --journal PATH --resume 0|1 [--listen HOST:PORT]"
+               "\n"
+               "             [--conn-cap N --read-deadline SECS "
+               "--write-deadline SECS]\n"
+               "             (daemon; blocks until shutdown or SIGTERM/"
+               "SIGINT, which drain)\n"
+               "  submit   : --socket PATH|--connect HOST:PORT --tenant T "
+               "[job flags:\n"
+               "             --dataset --arch --attack --defense --spc "
+               "--seed --width\n"
+               "             --attack-epochs --prune-rounds --ft-epochs "
+               "--train-per-class\n"
+               "             --test-per-class --model --out] [--client-id "
+               "KEY]\n"
+               "             [--wait 1 --timeout SECS]  (--client-id makes "
+               "retries\n"
+               "             idempotent; --wait reports timeout vs unknown "
+               "job distinctly)\n"
+               "  jobs     : --socket PATH|--connect HOST:PORT [--tenant T]\n"
+               "  cancel   : --socket PATH|--connect HOST:PORT --id jNNNNNN\n"
+               "  shutdown : --socket PATH|--connect HOST:PORT [--drain 0|1] "
+               "(0 abandons the\n"
+               "             queue; a restart reports those jobs "
+               "interrupted)\n"
+               "  loadgen  : --socket PATH|--connect HOST:PORT --jobs N "
+               "--tenants K\n"
+               "             [--distinct D] [--concurrency C] [--idempotent "
+               "0|1] [job flags]\n"
                "  shard    : bdctl shard run --workers N [--journal J] "
                "[--ledger L]\n"
                "             [--ttl SECS] [--out MERGED] [--resume 0|1]\n"
@@ -425,12 +440,27 @@ std::string serve_socket(const Args& args) {
   return args.get("socket", "bdserve.sock");
 }
 
+/// Client for the daemon: --connect host:port selects TCP, otherwise the
+/// --socket Unix path. Retry/deadline policy comes from the environment
+/// (BDPROTO_RETRY_BUDGET etc.); `jitter_salt` decorrelates backoff across
+/// concurrent clients (loadgen workers).
+serve::Client make_client(const Args& args, std::uint64_t jitter_salt = 0) {
+  serve::ClientConfig config = serve::ClientConfig::from_env();
+  config.jitter_seed ^= jitter_salt;
+  if (args.flags.count("connect")) {
+    return serve::Client(serve::tcp_endpoint(args.get("connect", "")),
+                         config);
+  }
+  return serve::Client(serve::unix_endpoint(serve_socket(args)), config);
+}
+
 /// Builds the submit request's "job" object from the CLI's job flags. Only
 /// flags the caller actually passed are emitted, so daemon-side defaults
 /// apply to everything else. `seed_override` >= 0 replaces --seed (the
 /// load generator uses it to spread jobs across distinct backbones).
 std::string job_object_from_flags(const Args& args,
-                                  std::int64_t seed_override = -1) {
+                                  std::int64_t seed_override = -1,
+                                  const std::string& client_id_override = "") {
   serve::JsonObject job;
   const auto set_str = [&args, &job](const char* flag, const char* member) {
     if (args.flags.count(flag)) job.set(member, args.get(flag, ""));
@@ -456,6 +486,11 @@ std::string job_object_from_flags(const Args& args,
   set_int("test-per-class", "test_per_class");
   set_str("model", "model");
   set_str("out", "out");
+  if (!client_id_override.empty()) {
+    job.set("client_id", client_id_override);
+  } else {
+    set_str("client-id", "client_id");
+  }
   return job.str();
 }
 
@@ -481,39 +516,67 @@ void print_job(const serve::Json& job) {
   std::printf("\n");
 }
 
-/// Polls `id` until it reaches a terminal state; prints the final record.
+/// Blocks until `id` reaches a terminal state via the server-side wait op
+/// (re-issued in <= 30s slices: the daemon clamps each wait), printing the
+/// final record. Reports "timed out" and "unknown job" distinctly — the
+/// daemon's WaitOutcome keeps them apart.
 int wait_for_job(const serve::Client& client, const std::string& id,
                  double timeout_seconds) {
   const auto t0 = std::chrono::steady_clock::now();
   for (;;) {
-    const serve::Json response = client.request_json(
-        serve::JsonObject().set("op", "status").set("id", id).str());
-    if (!response.get_bool("ok", false)) {
-      std::fprintf(stderr, "bdctl: status %s: %s\n", id.c_str(),
-                   response.get_string("message").c_str());
-      return 1;
+    double slice = 30.0;
+    if (timeout_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      const double remaining = timeout_seconds - elapsed.count();
+      if (remaining <= 0) {
+        std::fprintf(stderr,
+                     "bdctl: timed out waiting for %s (job still in flight; "
+                     "check later with bdctl jobs)\n",
+                     id.c_str());
+        return 1;
+      }
+      slice = remaining < slice ? remaining : slice;
     }
-    const serve::Json* job = response.find("job");
-    if (job == nullptr) return 1;
-    const std::string state = job->get_string("state");
-    if (state != "queued" && state != "running") {
+    const serve::Json response = client.request_json_retry(
+        serve::JsonObject()
+            .set("op", "wait")
+            .set("id", id)
+            .set_double("timeout", slice)
+            .str());
+    if (response.get_bool("ok", false)) {
+      const serve::Json* job = response.find("job");
+      if (job == nullptr) return 1;
       print_job(*job);
-      return state == "done" ? 0 : 1;
+      return job->get_string("state") == "done" ? 0 : 1;
     }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - t0;
-    if (timeout_seconds > 0 && elapsed.count() > timeout_seconds) {
-      std::fprintf(stderr, "bdctl: timed out waiting for %s (still %s)\n",
-                   id.c_str(), state.c_str());
+    const std::string code = response.get_string("error");
+    if (code == "wait_timeout") continue;  // still in flight; next slice
+    if (code == "unknown_job") {
+      std::fprintf(stderr, "bdctl: no job with id %s on this daemon\n",
+                   id.c_str());
       return 1;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::fprintf(stderr, "bdctl: wait %s: %s\n", id.c_str(),
+                 response.get_string("message").c_str());
+    return 1;
   }
 }
 
 int cmd_serve(const Args& args) {
   serve::ServerConfig config;
   config.socket_path = serve_socket(args);
+  config.listen_address =
+      args.get("listen", env_string("BDPROTO_LISTEN").value_or(""));
+  config.max_connections = static_cast<std::size_t>(args.get_int(
+      "conn-cap", env_int("BDPROTO_CONN_CAP").value_or(64)));
+  config.read_deadline_seconds = std::stod(args.get(
+      "read-deadline",
+      std::to_string(env_double("BDPROTO_READ_DEADLINE").value_or(30.0))));
+  config.write_deadline_seconds = std::stod(args.get(
+      "write-deadline",
+      std::to_string(env_double("BDPROTO_WRITE_DEADLINE").value_or(30.0))));
+  config.install_signal_handlers = true;  // SIGTERM/SIGINT = graceful drain
   config.service.workers =
       static_cast<std::size_t>(args.get_int("workers", 2));
   config.service.queue_capacity =
@@ -536,10 +599,13 @@ int cmd_serve(const Args& args) {
                 static_cast<long long>(loaded.cancelled),
                 static_cast<long long>(loaded.interrupted));
   }
-  std::printf("serving on %s (workers=%zu queue=%zu quota=%zu cache=%zu)\n",
-              config.socket_path.c_str(), config.service.workers,
+  std::printf("serving on %s%s%s (workers=%zu queue=%zu quota=%zu cache=%zu "
+              "conn-cap=%zu)\n",
+              config.socket_path.c_str(),
+              config.listen_address.empty() ? "" : " + tcp ",
+              config.listen_address.c_str(), config.service.workers,
               config.service.queue_capacity, config.service.tenant_quota,
-              config.service.cache_capacity);
+              config.service.cache_capacity, config.max_connections);
   std::fflush(stdout);
   server.run();
   std::printf("shut down cleanly\n");
@@ -547,13 +613,18 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_submit(const Args& args) {
-  const serve::Client client(serve_socket(args));
+  const serve::Client client = make_client(args);
   const std::string tenant = args.get("tenant", "default");
   serve::JsonObject request;
   request.set("op", "submit")
       .set("tenant", tenant)
       .set_raw("job", job_object_from_flags(args));
-  const serve::Json response = client.request_json(request.str());
+  // Retried submits are only duplicate-safe with --client-id; without one
+  // a transport failure after the daemon enqueued would re-enqueue.
+  const serve::Json response =
+      args.flags.count("client-id") != 0
+          ? client.request_json_retry(request.str())
+          : client.request_json(request.str());
   if (!response.get_bool("ok", false)) {
     std::fprintf(stderr, "bdctl submit: %s: %s\n",
                  response.get_string("error", "error").c_str(),
@@ -561,14 +632,19 @@ int cmd_submit(const Args& args) {
     return 1;
   }
   const std::string id = response.get_string("id");
-  std::printf("submitted %s (tenant=%s)\n", id.c_str(), tenant.c_str());
+  if (response.get_bool("dedup", false)) {
+    std::printf("deduplicated to %s (tenant=%s, state=%s)\n", id.c_str(),
+                tenant.c_str(), response.get_string("state").c_str());
+  } else {
+    std::printf("submitted %s (tenant=%s)\n", id.c_str(), tenant.c_str());
+  }
   if (args.get_int("wait", 0) == 0) return 0;
   return wait_for_job(client, id,
                       static_cast<double>(args.get_int("timeout", 600)));
 }
 
 int cmd_jobs(const Args& args) {
-  const serve::Client client(serve_socket(args));
+  const serve::Client client = make_client(args);
   serve::JsonObject request;
   request.set("op", "jobs");
   if (args.flags.count("tenant")) request.set("tenant", args.get("tenant", ""));
@@ -586,7 +662,7 @@ int cmd_jobs(const Args& args) {
 }
 
 int cmd_cancel(const Args& args) {
-  const serve::Client client(serve_socket(args));
+  const serve::Client client = make_client(args);
   const std::string id = args.get("id", "");
   const serve::Json response = client.request_json(
       serve::JsonObject().set("op", "cancel").set("id", id).str());
@@ -601,58 +677,110 @@ int cmd_cancel(const Args& args) {
 }
 
 int cmd_shutdown(const Args& args) {
-  const serve::Client client(serve_socket(args));
-  const serve::Json response =
-      client.request_json(serve::JsonObject().set("op", "shutdown").str());
+  const serve::Client client = make_client(args);
+  const bool drain = args.get_int("drain", 1) != 0;
+  serve::JsonObject request;
+  request.set("op", "shutdown");
+  request.set_bool("drain", drain);
+  const serve::Json response = client.request_json(request.str());
   if (!response.get_bool("ok", false)) {
     std::fprintf(stderr, "bdctl shutdown: %s\n",
                  response.get_string("message").c_str());
     return 1;
   }
-  std::printf("daemon shutting down\n");
+  std::printf("daemon shutting down (%s)\n",
+              drain ? "draining queued jobs"
+                    : "abandoning queued jobs; a restart reports them "
+                      "interrupted");
   return 0;
 }
 
 /// Load generator: submits --jobs jobs round-robin across --tenants
-/// synthetic tenants, backing off on admission rejections, then waits for
-/// every job and reports throughput plus the daemon's cache/quota stats.
+/// synthetic tenants from --concurrency client threads, backing off on
+/// admission rejections and retrying transport faults/sheds through the
+/// resilient client, then waits for every job and reports throughput plus
+/// retry/dedup counts and the daemon's cache stats. --idempotent 1
+/// (default) stamps each job with a deterministic client_id derived from
+/// --seed and the job index, so retried submits (and a rerun of the same
+/// loadgen against a restarted daemon) dedup instead of duplicating.
 int cmd_loadgen(const Args& args) {
-  const serve::Client client(serve_socket(args));
   const std::int64_t total = args.get_int("jobs", 8);
-  const std::int64_t tenants = std::max<std::int64_t>(args.get_int("tenants", 2), 1);
-  const std::int64_t distinct = std::max<std::int64_t>(args.get_int("distinct", 1), 1);
+  const std::int64_t tenants =
+      std::max<std::int64_t>(args.get_int("tenants", 2), 1);
+  const std::int64_t distinct =
+      std::max<std::int64_t>(args.get_int("distinct", 1), 1);
   const std::int64_t base_seed = args.get_int("seed", 1234);
+  const std::int64_t concurrency = std::min<std::int64_t>(
+      std::max<std::int64_t>(args.get_int("concurrency", 1), 1), 64);
+  const bool idempotent = args.get_int("idempotent", 1) != 0;
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::string> ids;
-  std::int64_t rejections = 0;
-  for (std::int64_t i = 0; i < total; ++i) {
-    serve::JsonObject request;
-    request.set("op", "submit")
-        .set("tenant", "tenant" + std::to_string(i % tenants))
-        .set_raw("job", job_object_from_flags(args, base_seed + i % distinct));
-    for (;;) {
-      const serve::Json response = client.request_json(request.str());
-      if (response.get_bool("ok", false)) {
-        ids.push_back(response.get_string("id"));
-        break;
-      }
-      const std::string code = response.get_string("error");
-      if (code == "queue_full" || code == "quota_exceeded") {
-        ++rejections;  // admission pushback is expected under load
-        std::this_thread::sleep_for(std::chrono::milliseconds(200));
-        continue;
-      }
-      std::fprintf(stderr, "bdctl loadgen: %s: %s\n", code.c_str(),
-                   response.get_string("message").c_str());
-      return 1;
-    }
-  }
+  std::vector<std::string> ids(static_cast<std::size_t>(total));
+  std::atomic<std::int64_t> rejections{0};
+  std::atomic<std::int64_t> transport_retries{0};
+  std::atomic<std::int64_t> dedups{0};
+  std::atomic<bool> failed{false};
 
+  const auto submit_range = [&](std::int64_t worker) {
+    const serve::Client client =
+        make_client(args, static_cast<std::uint64_t>(worker) + 1);
+    for (std::int64_t i = worker; i < total && !failed.load();
+         i += concurrency) {
+      // Deterministic idempotency key: stable across retries AND across
+      // reruns of the same loadgen invocation against one journal.
+      const std::string client_id =
+          idempotent ? "lg-" + std::to_string(base_seed) + "-" +
+                           std::to_string(i)
+                     : "";
+      const std::string raw =
+          job_object_from_flags(args, base_seed + i % distinct, client_id);
+      serve::JsonObject request;
+      request.set("op", "submit")
+          .set("tenant", "tenant" + std::to_string(i % tenants))
+          .set_raw("job", raw);
+      for (;;) {
+        int retries = 0;
+        serve::Json response;
+        try {
+          response = client.request_json_retry(request.str(), &retries);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bdctl loadgen: job %lld: %s\n",
+                       static_cast<long long>(i), e.what());
+          failed.store(true);
+          return;
+        }
+        transport_retries.fetch_add(retries);
+        if (response.get_bool("ok", false)) {
+          ids[static_cast<std::size_t>(i)] = response.get_string("id");
+          if (response.get_bool("dedup", false)) dedups.fetch_add(1);
+          break;
+        }
+        const std::string code = response.get_string("error");
+        if (code == "queue_full" || code == "quota_exceeded") {
+          rejections.fetch_add(1);  // admission pushback: expected
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          continue;
+        }
+        std::fprintf(stderr, "bdctl loadgen: %s: %s\n", code.c_str(),
+                     response.get_string("message").c_str());
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> submitters;
+  for (std::int64_t w = 0; w < concurrency; ++w) {
+    submitters.emplace_back(submit_range, w);
+  }
+  for (auto& t : submitters) t.join();
+  if (failed.load()) return 1;
+
+  const serve::Client client = make_client(args);
   std::map<std::string, std::int64_t> states;
   for (const std::string& id : ids) {
     for (;;) {
-      const serve::Json response = client.request_json(
+      const serve::Json response = client.request_json_retry(
           serve::JsonObject().set("op", "status").set("id", id).str());
       const serve::Json* job = response.find("job");
       if (job == nullptr) return 1;
@@ -676,10 +804,15 @@ int cmd_loadgen(const Args& args) {
               elapsed.count() > 0 ? 60.0 * static_cast<double>(total) /
                                         elapsed.count()
                                   : 0.0,
-              breakdown.c_str(), static_cast<long long>(rejections));
+              breakdown.c_str(),
+              static_cast<long long>(rejections.load()));
+  std::printf("client: transport_retries=%lld dedup=%lld concurrency=%lld\n",
+              static_cast<long long>(transport_retries.load()),
+              static_cast<long long>(dedups.load()),
+              static_cast<long long>(concurrency));
 
   const serve::Json stats =
-      client.request_json(serve::JsonObject().set("op", "stats").str());
+      client.request_json_retry(serve::JsonObject().set("op", "stats").str());
   const serve::Json* cache = stats.find("cache");
   if (cache != nullptr) {
     std::printf("cache: hits=%lld misses=%lld evictions=%lld size=%lld\n",

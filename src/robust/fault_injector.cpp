@@ -25,6 +25,10 @@ FaultKind parse_kind(const std::string& name) {
   if (name == "torn_write") return FaultKind::kTornWrite;
   if (name == "oom_sim") return FaultKind::kOom;
   if (name == "crash_worker") return FaultKind::kCrashWorker;
+  if (name == "conn_reset") return FaultKind::kConnReset;
+  if (name == "slow_peer") return FaultKind::kSlowPeer;
+  if (name == "short_write") return FaultKind::kShortWrite;
+  if (name == "accept_fail") return FaultKind::kAcceptFail;
   throw std::invalid_argument("BDPROTO_FAULTS: unknown fault kind '" + name +
                               "'");
 }

@@ -25,6 +25,19 @@
 //                 mid-cell — a real kill, not an exception: the claim is
 //                 already durable in the lease ledger, so a surviving
 //                 worker must steal the expired lease (src/shard/)
+//   conn_reset@1  client side: after sending its 1st request the client
+//                 sets SO_LINGER{1,0} and closes, so the daemon sees a
+//                 real RST mid-exchange and the client's retry layer must
+//                 re-submit idempotently (src/serve/client.cpp)
+//   slow_peer@2   client side: the 2nd request is sent one byte at a time
+//                 with small sleeps — a slowloris peer exercising the
+//                 server's framing and read deadlines (src/serve/client.cpp)
+//   short_write@3 the 3rd send_all() call is degraded to one-byte send(2)
+//                 syscalls, proving the partial-write loop reassembles the
+//                 frame (src/serve/net.cpp)
+//   accept_fail@1 the daemon's 1st accepted connection is dropped at
+//                 accept as if accept(2) failed transiently; the accept
+//                 loop must log and keep serving (src/serve/server.cpp)
 //
 // Each site calls the matching fire_*() helper; the injector counts calls
 // per kind and fires at the armed indices. All counters are process-global
@@ -70,6 +83,10 @@ enum class FaultKind {
   kTornWrite,
   kOom,
   kCrashWorker,
+  kConnReset,
+  kSlowPeer,
+  kShortWrite,
+  kAcceptFail,
 };
 
 class FaultInjector {
@@ -114,10 +131,26 @@ class FaultInjector {
   /// mid-cell. Never returns when it fires.
   void fire_crash_worker(const std::string& where);
 
+  /// fire(kConnReset): true when the client must RST this connection
+  /// after sending the request (SO_LINGER{1,0} + close).
+  bool fire_conn_reset() { return fire(FaultKind::kConnReset); }
+
+  /// fire(kSlowPeer): true when the client must trickle this request one
+  /// byte at a time (slowloris against the server's read deadline).
+  bool fire_slow_peer() { return fire(FaultKind::kSlowPeer); }
+
+  /// fire(kShortWrite): true when this send_all() must degrade to
+  /// one-byte send(2) calls (the partial-write loop does the work).
+  bool fire_short_write() { return fire(FaultKind::kShortWrite); }
+
+  /// fire(kAcceptFail): true when the server must drop this accepted
+  /// connection as a transient accept failure.
+  bool fire_accept_fail() { return fire(FaultKind::kAcceptFail); }
+
  private:
   FaultInjector();
 
-  static constexpr int kKinds = 9;
+  static constexpr int kKinds = 13;
 
   mutable std::mutex mutex_;
   std::set<std::int64_t> triggers_[kKinds];  // armed occurrences per kind

@@ -24,7 +24,12 @@
 //
 //   rank | mutex                                   | acquired while holding
 //   -----+-----------------------------------------+-----------------------
-//    10  | SocketServer::threads_mutex_            | (nothing)
+//    10  | SocketServer::threads_mutex_            | (nothing; guards the
+//         |                                        |  Connection list for
+//         |                                        |  BOTH transports — the
+//         |                                        |  TCP listener reuses
+//         |                                        |  this rank, no new
+//         |                                        |  ranks were added)
 //    20  | SanitizeService::mutex_                 | (nothing)
 //    30  | FairQueue::mutex_                       | service mutex (submit/cancel)
 //    40  | BackboneCache::mutex_                   | (nothing; ranked below

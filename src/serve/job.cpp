@@ -100,6 +100,18 @@ JobSpec parse_job_spec(const Json& job, const std::string& tenant) {
   spec.test_per_class = bounded_int(job, "test_per_class", 0, 0, 100000);
   spec.model_path = optional_string(job, "model");
   spec.out_path = optional_string(job, "out");
+  spec.client_job_id = optional_string(job, "client_id");
+  if (spec.client_job_id.size() > 128) {
+    throw BadRequest("job.client_id must be <= 128 characters");
+  }
+  for (const char c : spec.client_job_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) {
+      throw BadRequest("job.client_id may only contain [A-Za-z0-9._-]");
+    }
+  }
   // The defender needs at least SPC clean samples per class to draw.
   if (spec.train_per_class > 0 && spec.train_per_class < spec.spc) {
     throw BadRequest("job.train_per_class must be >= job.spc");
@@ -234,6 +246,7 @@ robust::JournalFields encode_job(const JobRecord& r) {
   set_if("test_per_class", r.spec.test_per_class);
   if (!r.spec.model_path.empty()) f["model"] = r.spec.model_path;
   if (!r.spec.out_path.empty()) f["out"] = r.spec.out_path;
+  if (!r.spec.client_job_id.empty()) f["client_id"] = r.spec.client_job_id;
   if (r.cache_hit) f["cache"] = "hit";
   if (!r.error.empty()) f["error"] = r.error;
   if (r.have_metrics) {
@@ -276,6 +289,7 @@ JobRecord decode_job(const std::string& key,
   r.spec.test_per_class = get_i("test_per_class", 0);
   r.spec.model_path = get("model");
   r.spec.out_path = get("out");
+  r.spec.client_job_id = get("client_id");
   if (!parse_job_state(get("state"), r.state)) r.state = JobState::kQueued;
   r.cache_key = get("cache_key");
   r.cache_hit = get("cache") == "hit";
@@ -308,6 +322,9 @@ std::string job_json(const JobRecord& r) {
       .set_int("attempts", r.attempts);
   if (!r.spec.model_path.empty()) o.set("model", r.spec.model_path);
   if (!r.spec.out_path.empty()) o.set("out", r.spec.out_path);
+  if (!r.spec.client_job_id.empty()) {
+    o.set("client_id", r.spec.client_job_id);
+  }
   if (!r.error.empty()) o.set("error", r.error);
   if (r.have_metrics) {
     o.set_double("acc", r.metrics.acc)

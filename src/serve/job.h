@@ -38,6 +38,11 @@ class BadRequest : public std::runtime_error {
 /// budget fields defer to default_scale(dataset).
 struct JobSpec {
   std::string tenant = "default";
+  /// Optional client-supplied idempotency key ("client_id" in the submit
+  /// request). A resubmit with the same (tenant, client_id) returns the
+  /// existing job instead of enqueueing a duplicate — journaled, so the
+  /// dedup survives a daemon restart. Empty = no dedup.
+  std::string client_job_id;
   std::string dataset = "cifar";
   std::string arch = "preactresnet";
   std::string attack = "badnet";

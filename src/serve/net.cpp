@@ -1,0 +1,222 @@
+#include "serve/net.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "robust/fault_injector.h"
+
+namespace bd::serve::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining budget in whole milliseconds for poll(2); -1 = unbounded,
+/// 0 = already expired (poll returns immediately).
+int remaining_ms(double deadline_seconds, Clock::time_point start) {
+  if (deadline_seconds <= 0.0) return -1;
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  const double left = deadline_seconds - elapsed.count();
+  if (left <= 0.0) return 0;
+  const double ms = left * 1000.0;
+  return ms > 2147483000.0 ? 2147483000 : static_cast<int>(ms) + 1;
+}
+
+IoStatus wait_for(int fd, short events, double deadline_seconds,
+                  Clock::time_point start) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int timeout = remaining_ms(deadline_seconds, start);
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return IoStatus::kOk;  // ready (or HUP/ERR — the I/O decides)
+    if (n == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+bool is_reset(int err) {
+  return err == ECONNRESET || err == EPIPE || err == ECONNABORTED;
+}
+
+}  // namespace
+
+const char* io_status_name(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kReset: return "reset";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+IoStatus send_all(int fd, const char* data, std::size_t len,
+                  double deadline_seconds, int* err) {
+  const auto start = Clock::now();
+  // Armed short_write fault: degrade this whole call to one-byte syscalls
+  // so the partial-write loop below is what delivers the payload.
+  const std::size_t max_chunk =
+      robust::FaultInjector::instance().fire_short_write() ? 1 : len;
+  std::size_t sent = 0;
+  while (sent < len) {
+    const std::size_t chunk =
+        len - sent < max_chunk ? len - sent : max_chunk;
+    const ssize_t n = ::send(fd, data + sent, chunk, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoStatus ready = wait_for(fd, POLLOUT, deadline_seconds, start);
+      if (ready != IoStatus::kOk) return ready;
+      continue;
+    }
+    if (err != nullptr) *err = errno;
+    return is_reset(errno) ? IoStatus::kReset : IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus send_all(int fd, const std::string& data, double deadline_seconds,
+                  int* err) {
+  return send_all(fd, data.data(), data.size(), deadline_seconds, err);
+}
+
+IoStatus recv_ready(int fd, double deadline_seconds) {
+  return wait_for(fd, POLLIN, deadline_seconds, Clock::now());
+}
+
+IoStatus recv_some(int fd, std::string& out, std::size_t max_chunk,
+                   double deadline_seconds, int* err) {
+  const auto start = Clock::now();
+  const IoStatus ready = wait_for(fd, POLLIN, deadline_seconds, start);
+  if (ready != IoStatus::kOk) return ready;
+  char chunk[4096];
+  const std::size_t want =
+      max_chunk < sizeof(chunk) ? max_chunk : sizeof(chunk);
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, want, 0);
+    if (n > 0) {
+      out.append(chunk, static_cast<std::size_t>(n));
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // poll said readable but the kernel changed its mind (spurious
+      // wakeup); re-arm with the remaining budget.
+      const IoStatus again = wait_for(fd, POLLIN, deadline_seconds, start);
+      if (again != IoStatus::kOk) return again;
+      continue;
+    }
+    if (err != nullptr) *err = errno;
+    return is_reset(errno) ? IoStatus::kReset : IoStatus::kError;
+  }
+}
+
+bool LineFramer::append(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  // Only the unterminated tail counts against the bound: a burst of
+  // complete pipelined frames may legitimately exceed one line's limit.
+  const std::size_t last_newline = buffer_.rfind('\n');
+  const std::size_t tail = last_newline == std::string::npos
+                               ? buffer_.size()
+                               : buffer_.size() - last_newline - 1;
+  if (tail > max_line_) overflowed_ = true;
+  return !overflowed_;
+}
+
+bool LineFramer::next(std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline == std::string::npos) return false;
+    line.assign(buffer_, 0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // bare keep-alive newline
+    return true;
+  }
+}
+
+int listen_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a prior run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error = "bind(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    error = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, double timeout_seconds,
+                 std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  // AF_UNIX connect either succeeds or fails immediately (the backlog is
+  // the only wait, and the kernel handles it); the timeout parameter
+  // exists for signature symmetry with the TCP path.
+  (void)timeout_seconds;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error = "connect(" + path + "): " + std::strerror(errno) +
+            " (is the daemon running?)";
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return 0;
+  }
+  if (ss.ss_family != AF_INET) return 0;
+  sockaddr_in addr{};
+  std::memcpy(&addr, &ss, sizeof(addr));
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace bd::serve::net

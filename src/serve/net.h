@@ -1,0 +1,93 @@
+// Shared connection-lifecycle primitives for the serve transports.
+//
+// Every byte the daemon or a client moves over a socket goes through this
+// layer, which owns the three invariants the transports must never violate:
+//
+//   1. No SIGPIPE, ever. A peer that dies mid-write turns into an EPIPE
+//      return, not a process-killing signal: send_all() passes MSG_NOSIGNAL
+//      on every send(2) and loops over EINTR and short writes the way
+//      robust's journal appends do.
+//   2. Every blocking I/O step has a deadline. recv_ready()/send_all() poll
+//      with the caller's budget, so a slow or stalled peer (slowloris) costs
+//      one connection slot for a bounded time, never a thread forever.
+//   3. Buffers are bounded. LineFramer reassembles newline-delimited frames
+//      from arbitrary chunkings (byte-at-a-time, split at any boundary,
+//      several frames in one read) but refuses to buffer a line beyond its
+//      limit, which rides Protocol::kMaxRequestBytes.
+//
+// Deterministic network faults (robust::FaultInjector specs) fire inside
+// this layer so every transport failure mode is reproducible in tests:
+// `short_write@n` degrades the n-th send_all() to one-byte syscalls (the
+// loop must reassemble), `accept_fail@n` fails the n-th accept, and the
+// client-side `conn_reset@n` / `slow_peer@n` live in serve/client.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bd::serve::net {
+
+/// Outcome of one I/O step. kReset covers ECONNRESET/EPIPE — the peer is
+/// gone; kTimeout means the deadline expired with the fd not ready.
+enum class IoStatus { kOk, kClosed, kTimeout, kReset, kError };
+const char* io_status_name(IoStatus status);
+
+/// Sends all `len` bytes with MSG_NOSIGNAL, looping over EINTR, EAGAIN and
+/// short writes; blocks at most `deadline_seconds` total (<= 0: no bound).
+/// Returns kOk only when every byte is out. `err` (optional) receives the
+/// errno of a kReset/kError outcome.
+IoStatus send_all(int fd, const char* data, std::size_t len,
+                  double deadline_seconds, int* err = nullptr);
+IoStatus send_all(int fd, const std::string& data, double deadline_seconds,
+                  int* err = nullptr);
+
+/// Waits up to `deadline_seconds` for `fd` to become readable (<= 0: no
+/// bound). kOk means readable (possibly EOF — the recv decides).
+IoStatus recv_ready(int fd, double deadline_seconds);
+
+/// One deadline-bounded recv of at most `max_chunk` bytes appended to
+/// `out`. kClosed on orderly EOF, kReset on ECONNRESET, kTimeout when the
+/// peer sent nothing within the budget.
+IoStatus recv_some(int fd, std::string& out, std::size_t max_chunk,
+                   double deadline_seconds, int* err = nullptr);
+
+/// Reassembles newline-delimited frames from adversarial chunk delivery.
+/// append() buffers bytes; next() yields complete lines (without the '\n',
+/// tolerating a trailing '\r') in arrival order. A partial line growing
+/// past `max_line` trips overflowed() — the caller answers with the
+/// structured oversized error and drops the connection, bounding the
+/// memory any client can pin.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line) : max_line_(max_line) {}
+
+  /// False (and overflowed() latches) when the unterminated tail would
+  /// exceed max_line. Complete lines already in `data` are still yielded.
+  bool append(const char* data, std::size_t n);
+
+  /// Pops the next complete line; false when none is buffered. Empty
+  /// lines are skipped (keep-alive newlines are legal NDJSON padding).
+  bool next(std::string& line);
+
+  bool overflowed() const { return overflowed_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  bool overflowed_ = false;
+};
+
+/// Binds and listens on an AF_UNIX stream socket, unlinking a stale file
+/// first. Returns the listening fd, or -1 with `error` set.
+int listen_unix(const std::string& path, std::string& error);
+
+/// Connects to an AF_UNIX socket within `timeout_seconds`. -1 + error.
+int connect_unix(const std::string& path, double timeout_seconds,
+                 std::string& error);
+
+/// The port a bound TCP socket actually got (resolves port 0); 0 on error.
+std::uint16_t bound_port(int fd);
+
+}  // namespace bd::serve::net

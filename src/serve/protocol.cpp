@@ -27,6 +27,7 @@ std::string stats_json(const SanitizeService& service) {
       .set_int("failed", s.failed)
       .set_int("cancelled", s.cancelled)
       .set_int("interrupted", s.interrupted)
+      .set_int("deduplicated", s.deduplicated)
       .set_int("queue_depth", static_cast<std::int64_t>(s.queue_depth))
       .set_int("running", static_cast<std::int64_t>(s.running))
       .set_raw("cache", cache.str())
@@ -84,8 +85,18 @@ ProtocolResult Protocol::handle_line(const std::string& line) {
       switch (result.admission) {
         case Admission::kAdmitted: {
           JsonObject body;
-          body.set_bool("ok", true).set("id", result.id).set("state",
-                                                             "queued");
+          body.set_bool("ok", true).set("id", result.id);
+          if (result.deduplicated) {
+            // Idempotent retry: report the existing job's current state
+            // so the client can go straight to wait/status.
+            JobRecord record;
+            body.set("state", service_.status(result.id, record)
+                                  ? job_state_name(record.state)
+                                  : "queued");
+            body.set_bool("dedup", true);
+          } else {
+            body.set("state", "queued");
+          }
           out.response = ok_line(body);
           break;
         }
@@ -151,13 +162,50 @@ ProtocolResult Protocol::handle_line(const std::string& line) {
               "not_cancellable", "job \"" + id + "\" is already terminal");
           break;
       }
+    } else if (op == "wait") {
+      const std::string id = request.get_string("id");
+      // Server-side wait is clamped so a connection thread can never
+      // outlive the transport's patience by much; clients needing longer
+      // waits poll or re-issue.
+      double timeout = 30.0;
+      if (const Json* t = request.find("timeout"); t != nullptr) {
+        if (!t->is_number()) throw BadRequest("wait.timeout must be a number");
+        timeout = t->as_number();
+      }
+      if (timeout <= 0.0 || timeout > 60.0) timeout = 60.0;
+      switch (service_.wait(id, timeout)) {
+        case WaitOutcome::kTerminal: {
+          JobRecord record;
+          if (service_.status(id, record)) {
+            JsonObject body;
+            body.set_bool("ok", true).set_raw("job", job_json(record));
+            out.response = ok_line(body);
+          } else {
+            out.response = protocol_error("unknown_job",
+                                          "no job with id \"" + id + "\"");
+          }
+          break;
+        }
+        case WaitOutcome::kTimeout:
+          out.response = protocol_error(
+              "wait_timeout",
+              "job \"" + id + "\" not terminal within the wait budget");
+          break;
+        case WaitOutcome::kUnknown:
+          out.response =
+              protocol_error("unknown_job", "no job with id \"" + id + "\"");
+          break;
+      }
     } else if (op == "stats") {
       out.response = stats_json(service_);
     } else if (op == "shutdown") {
+      const bool drain = request.get_bool("drain", true);
       JsonObject body;
       body.set_bool("ok", true).set("state", "shutting_down");
+      body.set_bool("drain", drain);
       out.response = ok_line(body);
       out.shutdown = true;
+      out.drain = drain;
     } else if (op.empty()) {
       out.response = protocol_error("bad_request", "missing \"op\"");
     } else {

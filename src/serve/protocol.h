@@ -4,12 +4,25 @@
 // Requests:  {"op":"submit","tenant":"t","job":{...}}
 //            {"op":"status","id":"j000001"}      {"op":"jobs","tenant":"t"?}
 //            {"op":"cancel","id":"j000001"}      {"op":"stats"}
-//            {"op":"ping"}                       {"op":"shutdown"}
+//            {"op":"wait","id":"j000001","timeout":30?}
+//            {"op":"ping"}                       {"op":"shutdown","drain":b?}
 // Responses: {"ok":true, ...} on success, else
 //            {"ok":false,"error":"<code>","message":"<detail>"} with codes
 //            bad_json | oversized_request | bad_request | unknown_op |
 //            unknown_job | quota_exceeded | queue_full | closed |
-//            not_cancellable.
+//            not_cancellable | wait_timeout, plus two codes produced by
+//            the transport layer rather than here: `overloaded` (the
+//            connection cap sheds this connection; retryable with
+//            backoff) and `timeout` (no complete request within the read
+//            deadline).
+//
+// submit accepts an optional job.client_id idempotency key: a resubmit
+// with the same (tenant, client_id) answers {"ok":true,"dedup":true} with
+// the existing job's id and current state instead of enqueueing twice.
+// wait blocks server-side (timeout clamped to 60s) until the job is
+// terminal, answering like status; a still-running job is `wait_timeout`.
+// shutdown drains by default; {"drain":false} abandons queued jobs (they
+// stay journaled and surface as `interrupted` after a restart).
 //
 // Every malformed, oversized or otherwise hostile line maps to a
 // structured error response — nothing a client sends can crash the daemon
@@ -26,6 +39,7 @@ namespace bd::serve {
 struct ProtocolResult {
   std::string response;  // one JSON line, no trailing newline
   bool shutdown = false;  // the request asked the daemon to exit
+  bool drain = true;      // shutdown only: false = abandon queued jobs
 };
 
 class Protocol {

@@ -106,4 +106,26 @@ void FairQueue::close() {
   cv_.notify_all();
 }
 
+std::vector<std::string> FairQueue::abandon() {
+  std::vector<std::string> discarded;
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    for (auto& [tenant, ids] : queued_) {
+      for (auto& id : ids) {
+        discarded.push_back(std::move(id));
+        auto slots = in_flight_.find(tenant);
+        if (slots != in_flight_.end() && slots->second > 0) {
+          --slots->second;
+          if (slots->second == 0) in_flight_.erase(slots);
+        }
+      }
+    }
+    queued_.clear();
+    depth_ = 0;
+  }
+  cv_.notify_all();
+  return discarded;
+}
+
 }  // namespace bd::serve

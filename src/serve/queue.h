@@ -20,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "runtime/ordered_mutex.h"
 
@@ -54,6 +55,13 @@ class FairQueue {
   /// Stops admission; blocked pop() calls drain the remaining jobs and
   /// then return false.
   void close();
+
+  /// Closes the queue AND discards every still-queued job (their quota
+  /// slots are released; running jobs are unaffected). Blocked pop()
+  /// calls return false immediately. Returns the discarded job ids — the
+  /// abandoning stop leaves them journaled as `queued`, which is exactly
+  /// the state a crash would have left.
+  std::vector<std::string> abandon();
 
  private:
   mutable runtime::OrderedMutex<runtime::LockRank::kServeQueue> mutex_;

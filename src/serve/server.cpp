@@ -1,157 +1,324 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "robust/fault_injector.h"
+#include "serve/net.h"
+#include "serve/transport_tcp.h"
 #include "util/logging.h"
 
 namespace bd::serve {
 
 namespace {
 
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
+/// Write end of the running server's wake pipe, published for the signal
+/// handler. One daemon per process installs handlers (bdctl serve), so a
+/// single slot suffices; -1 means no handler is active.
+std::atomic<int> g_signal_wake_fd{-1};
+
+void handle_stop_signal(int /*signo*/) {
+  // Async-signal-safe: one lock-free load + one write(2). The byte value
+  // tells the poll loop this wake is a signal (drain), not request_stop.
+  const int fd = g_signal_wake_fd.load();
+  if (fd >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
   }
-  return true;
 }
+
+void set_cloexec(int fd) { (void)::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
 }  // namespace
 
 SocketServer::SocketServer(const ServerConfig& config)
-    : config_(config), service_(config.service), protocol_(service_) {}
+    : config_(config), service_(config.service), protocol_(service_) {
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe(): ") + std::strerror(errno));
+  }
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
+  // The signal handler must never block on a full pipe.
+  const int flags = ::fcntl(wake_pipe_[1], F_GETFL, 0);
+  (void)::fcntl(wake_pipe_[1], F_SETFL, flags | O_NONBLOCK);
+}
 
 SocketServer::~SocketServer() {
   request_stop();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard lock(threads_mutex_);
-    threads.swap(connection_threads_);
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  interrupt_connections();
+  reap_connections(/*join_all=*/true);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
 }
 
-void SocketServer::close_listener() {
-  const int fd = listen_fd_.exchange(-1);
-  if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
+void SocketServer::wake() {
+  const int fd = wake_pipe_[1];
+  if (fd < 0) return;
+  const char byte = 'W';
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
 }
 
-void SocketServer::request_stop() {
-  stop_.store(true);
-  close_listener();
+void SocketServer::request_stop(StopMode mode) {
+  bool expected = false;
+  if (stop_.compare_exchange_strong(expected, true)) {
+    stop_mode_.store(static_cast<int>(mode));  // first stop wins the mode
+  }
+  wake();
 }
 
 void SocketServer::run() {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + config_.socket_path);
+  if (config_.socket_path.empty() && config_.listen_address.empty()) {
+    throw std::runtime_error(
+        "serve: no transport configured (need a socket path or --listen)");
   }
-  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  int unix_fd = -1;
+  TcpListener tcp;
+  std::string error;
+  if (!config_.socket_path.empty()) {
+    unix_fd = net::listen_unix(config_.socket_path, error);
+    if (unix_fd < 0) throw std::runtime_error(error);
   }
-  ::unlink(config_.socket_path.c_str());  // stale socket from a prior run
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error("bind(" + config_.socket_path +
-                             "): " + std::strerror(err));
+  if (!config_.listen_address.empty()) {
+    TcpEndpoint endpoint;
+    if (!parse_tcp_endpoint(config_.listen_address, endpoint, error) ||
+        !tcp.open(endpoint, error)) {
+      if (unix_fd >= 0) {
+        ::close(unix_fd);
+        ::unlink(config_.socket_path.c_str());
+      }
+      throw std::runtime_error(error);
+    }
+    tcp_port_.store(tcp.port());
   }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("listen(): ") + std::strerror(err));
+
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  bool signals_installed = false;
+  if (config_.install_signal_handlers) {
+    g_signal_wake_fd.store(wake_pipe_[1]);
+    struct sigaction sa {};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+    signals_installed = true;
   }
-  listen_fd_.store(fd);
 
   service_.start();
-  BD_LOG(Info) << "serve: listening on " << config_.socket_path;
+  if (unix_fd >= 0) {
+    BD_LOG(Info) << "serve: listening on " << config_.socket_path;
+  }
+  if (tcp.fd() >= 0) {
+    BD_LOG(Info) << "serve: listening on tcp port " << tcp.port();
+  }
 
   while (!stop_.load()) {
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (stop_.load()) break;
+    pollfd pfds[3];
+    nfds_t nfds = 0;
+    pfds[nfds].fd = wake_pipe_[0];
+    pfds[nfds].events = POLLIN;
+    const nfds_t wake_slot = nfds++;
+    nfds_t unix_slot = 0;
+    nfds_t tcp_slot = 0;
+    if (unix_fd >= 0) {
+      pfds[nfds].fd = unix_fd;
+      pfds[nfds].events = POLLIN;
+      unix_slot = nfds++;
+    }
+    if (tcp.fd() >= 0) {
+      pfds[nfds].fd = tcp.fd();
+      pfds[nfds].events = POLLIN;
+      tcp_slot = nfds++;
+    }
+    const int n = ::poll(pfds, nfds, -1);
+    if (n < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed under us
-    }
-    std::lock_guard lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, conn] { serve_connection(conn); });
-  }
-
-  close_listener();
-  {
-    // Join finished/draining connections before stopping the service so
-    // in-flight submits land in the queue and get drained deterministically.
-    std::vector<std::thread> threads;
-    {
-      std::lock_guard lock(threads_mutex_);
-      threads.swap(connection_threads_);
-    }
-    for (auto& t : threads) {
-      if (t.joinable()) t.join();
-    }
-  }
-  service_.stop();
-  ::unlink(config_.socket_path.c_str());
-  BD_LOG(Info) << "serve: shut down cleanly";
-}
-
-void SocketServer::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!stop_.load()) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      const ProtocolResult result = protocol_.handle_line(line);
-      if (!send_all(fd, result.response + "\n")) {
-        ::close(fd);
-        return;
-      }
-      if (result.shutdown) {
-        ::close(fd);
-        request_stop();
-        return;
-      }
-    }
-    // Bound the memory a newline-less client can pin: answer with the
-    // structured error and drop the connection.
-    if (buffer.size() > Protocol::kMaxRequestBytes) {
-      send_all(fd, protocol_error("oversized_request",
-                                  "request line exceeds " +
-                                      std::to_string(
-                                          Protocol::kMaxRequestBytes) +
-                                      " bytes") +
-                       "\n");
+      BD_LOG(Warn) << "serve: poll(): " << std::strerror(errno);
       break;
     }
+    if (pfds[wake_slot].revents != 0) {
+      char buf[64];
+      const ssize_t got = ::read(wake_pipe_[0], buf, sizeof(buf));
+      for (ssize_t i = 0; i < got; ++i) {
+        if (buf[i] == 'S') request_stop(StopMode::kDrain);  // signal
+      }
+    }
+    if (unix_fd >= 0 && pfds[unix_slot].revents != 0 && !stop_.load()) {
+      accept_on(unix_fd, "unix");
+    }
+    if (tcp.fd() >= 0 && pfds[tcp_slot].revents != 0 && !stop_.load()) {
+      accept_on(tcp.fd(), "tcp");
+    }
+    reap_connections(/*join_all=*/false);
   }
-  ::close(fd);
+
+  // Stop accepting first, then cut connection reads (responses in flight
+  // still go out) and join the connection threads so every accepted
+  // request has either been answered or abandoned before the service
+  // winds down its workers.
+  if (unix_fd >= 0) ::close(unix_fd);
+  tcp.close();
+  interrupt_connections();
+  reap_connections(/*join_all=*/true);
+
+  const auto mode = static_cast<StopMode>(stop_mode_.load());
+  service_.stop(mode);
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+
+  if (signals_installed) {
+    g_signal_wake_fd.store(-1);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+  }
+  BD_LOG(Info) << "serve: shut down cleanly ("
+               << (mode == StopMode::kDrain ? "drained" : "abandoned queue")
+               << ")";
+}
+
+void SocketServer::accept_on(int listener_fd, const char* transport) {
+  const int conn = ::accept(listener_fd, nullptr, nullptr);
+  if (conn < 0) return;  // transient (EINTR/ECONNABORTED): poll re-arms
+  if (robust::FaultInjector::instance().fire_accept_fail()) {
+    BD_LOG(Warn) << "fault injector: dropping accepted " << transport
+                 << " connection";
+    BD_OBS_COUNT("serve.conn.accept_fail", 1);
+    ::close(conn);
+    return;
+  }
+  if (active_connections_.load() >= config_.max_connections) {
+    BD_OBS_COUNT("serve.conn.shed", 1);
+    // Best-effort structured refusal with a tight cap so a zombie peer
+    // cannot stall the accept loop; then close. Clients treat
+    // `overloaded` as retryable and back off.
+    net::send_all(conn,
+                  protocol_error("overloaded",
+                                 "connection cap (" +
+                                     std::to_string(config_.max_connections) +
+                                     ") reached; retry with backoff") +
+                      "\n",
+                  1.0);
+    ::close(conn);
+    return;
+  }
+  BD_OBS_COUNT("serve.conn.accepted", 1);
+  const std::size_t active = active_connections_.fetch_add(1) + 1;
+  BD_OBS_GAUGE("serve.conn.active", active);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::lock_guard lock(threads_mutex_);
+  Connection c;
+  c.fd = conn;
+  c.done = done;
+  c.thread = std::thread([this, conn, transport, done] {
+    serve_connection(conn, transport, done);
+  });
+  connections_.push_back(std::move(c));
+}
+
+void SocketServer::serve_connection(int fd, const char* transport,
+                                    std::shared_ptr<std::atomic<bool>> done) {
+  BD_OBS_SPAN("serve.conn");
+  net::LineFramer framer(Protocol::kMaxRequestBytes);
+  std::string line;
+  bool open = true;
+  while (open && !stop_.load()) {
+    std::string data;
+    const net::IoStatus status =
+        net::recv_some(fd, data, 4096, config_.read_deadline_seconds);
+    if (status == net::IoStatus::kTimeout) {
+      BD_OBS_COUNT("serve.conn.read_timeout", 1);
+      BD_LOG(Warn) << "serve: dropping idle/slow " << transport
+                   << " connection (read deadline)";
+      // Best-effort notice; the slow peer may never read it.
+      net::send_all(fd,
+                    protocol_error("timeout",
+                                   "no complete request within the read "
+                                   "deadline") +
+                        "\n",
+                    1.0);
+      break;
+    }
+    if (status == net::IoStatus::kReset) {
+      BD_OBS_COUNT("serve.conn.reset", 1);
+      break;
+    }
+    if (status != net::IoStatus::kOk) break;  // orderly EOF or hard error
+    if (!framer.append(data.data(), data.size())) {
+      // Bound the memory a newline-less client can pin: answer with the
+      // structured error and drop the connection.
+      net::send_all(fd,
+                    protocol_error("oversized_request",
+                                   "request line exceeds " +
+                                       std::to_string(
+                                           Protocol::kMaxRequestBytes) +
+                                       " bytes") +
+                        "\n",
+                    config_.write_deadline_seconds);
+      break;
+    }
+    while (framer.next(line)) {
+      const ProtocolResult result = protocol_.handle_line(line);
+      const net::IoStatus wrote = net::send_all(
+          fd, result.response + "\n", config_.write_deadline_seconds);
+      if (wrote != net::IoStatus::kOk) {
+        if (wrote == net::IoStatus::kReset) {
+          BD_OBS_COUNT("serve.conn.reset", 1);
+        } else if (wrote == net::IoStatus::kTimeout) {
+          BD_OBS_COUNT("serve.conn.write_timeout", 1);
+        }
+        open = false;
+        break;
+      }
+      if (result.shutdown) {
+        request_stop(result.drain ? StopMode::kDrain : StopMode::kAbandon);
+        open = false;
+        break;
+      }
+    }
+  }
+  // The fd stays open (the Connection owns it) so a stopping server can
+  // shutdown(2) it without racing fd reuse; reap_connections closes it.
+  active_connections_.fetch_sub(1);
+  done->store(true);
+  wake();  // let the accept loop reap this thread promptly
+}
+
+void SocketServer::interrupt_connections() {
+  std::lock_guard lock(threads_mutex_);
+  for (auto& c : connections_) {
+    // SHUT_RD only: blocked reads wake with EOF, responses in flight
+    // still reach the peer.
+    ::shutdown(c.fd, SHUT_RD);
+  }
+}
+
+void SocketServer::reap_connections(bool join_all) {
+  std::vector<Connection> finished;
+  {
+    std::lock_guard lock(threads_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (join_all || it->done->load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : finished) {
+    if (c.thread.joinable()) c.thread.join();
+    if (c.fd >= 0) ::close(c.fd);
+  }
 }
 
 }  // namespace bd::serve

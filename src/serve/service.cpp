@@ -22,6 +22,15 @@ std::string format_job_id(std::uint64_t n) {
 
 }  // namespace
 
+const char* wait_outcome_name(WaitOutcome outcome) {
+  switch (outcome) {
+    case WaitOutcome::kTerminal: return "terminal";
+    case WaitOutcome::kTimeout: return "timeout";
+    case WaitOutcome::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
 SanitizeService::SanitizeService(const ServiceConfig& config)
     : config_(config),
       supervisor_(config.supervisor != nullptr ? config.supervisor
@@ -43,6 +52,11 @@ void SanitizeService::load_journal() {
     if (key.rfind("job|", 0) != 0) continue;
     JobRecord rec = decode_job(key, fields);
     if (rec.id.empty()) continue;
+    if (!rec.spec.client_job_id.empty()) {
+      // Terminal jobs included: a retried submit after restart must get
+      // the finished job back, not a fresh enqueue of the same work.
+      dedup_[rec.spec.tenant + "|" + rec.spec.client_job_id] = rec.id;
+    }
     if (rec.id[0] == 'j') {
       const std::uint64_t n = std::strtoull(rec.id.c_str() + 1, nullptr, 10);
       if (n >= next_id_) next_id_ = n + 1;
@@ -98,6 +112,16 @@ SubmitResult SanitizeService::submit(const JobSpec& spec) {
   const std::string cache_key = backbone_cache_key(spec);
 
   std::lock_guard lock(mutex_);
+  if (!spec.client_job_id.empty()) {
+    const auto hit = dedup_.find(spec.tenant + "|" + spec.client_job_id);
+    if (hit != dedup_.end()) {
+      ++counters_.deduplicated;
+      BD_OBS_COUNT("serve.jobs.deduplicated", 1);
+      SubmitResult result{Admission::kAdmitted, hit->second};
+      result.deduplicated = true;
+      return result;
+    }
+  }
   if (stopped_) return {Admission::kClosed, ""};
   const std::string id = format_job_id(next_id_);
   const Admission admission = queue_.push(spec.tenant, id);
@@ -106,6 +130,9 @@ SubmitResult SanitizeService::submit(const JobSpec& spec) {
     return {admission, ""};
   }
   ++next_id_;
+  if (!spec.client_job_id.empty()) {
+    dedup_[spec.tenant + "|" + spec.client_job_id] = id;
+  }
   JobRecord rec;
   rec.id = id;
   rec.spec = spec;
@@ -162,25 +189,31 @@ std::vector<JobRecord> SanitizeService::jobs(const std::string& tenant) const {
   return out;
 }
 
-bool SanitizeService::wait(const std::string& id,
-                           double timeout_seconds) const {
+WaitOutcome SanitizeService::wait(const std::string& id,
+                                  double timeout_seconds) const {
   std::unique_lock lock(mutex_);
-  if (records_.find(id) == records_.end()) return false;
-  const auto pred = [&] {
+  if (records_.find(id) == records_.end()) return WaitOutcome::kUnknown;
+  const auto terminal = [&] {
     const auto it = records_.find(id);
     return it != records_.end() && job_state_terminal(it->second.state);
   };
+  // stop_complete_ also satisfies the wait: an abandoned job will never
+  // turn terminal, and a transport thread blocked here must not hang the
+  // daemon's shutdown.
+  const auto pred = [&] { return stop_complete_ || terminal(); };
   if (timeout_seconds <= 0.0) {
     terminal_cv_.wait(lock, pred);
-    return true;
+  } else {
+    terminal_cv_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), pred);
   }
-  return terminal_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds), pred);
+  return terminal() ? WaitOutcome::kTerminal : WaitOutcome::kTimeout;
 }
 
 void SanitizeService::drain() const {
   std::unique_lock lock(mutex_);
   terminal_cv_.wait(lock, [this] {
+    if (stop_complete_) return true;  // abandoned jobs never turn terminal
     for (const auto& [id, rec] : records_) {
       if (!job_state_terminal(rec.state)) return false;
     }
@@ -188,17 +221,33 @@ void SanitizeService::drain() const {
   });
 }
 
-void SanitizeService::stop() {
+void SanitizeService::stop(StopMode mode) {
   {
     std::lock_guard lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
-  queue_.close();  // workers drain the remaining queued jobs, then exit
+  if (mode == StopMode::kAbandon) {
+    // Clear the queue; workers finish their current job and exit. The
+    // discarded jobs stay journaled as `queued`, so the next incarnation
+    // reports them `interrupted` — the same states a crash would leave.
+    const std::vector<std::string> discarded = queue_.abandon();
+    if (!discarded.empty()) {
+      BD_LOG(Warn) << "serve: abandoning " << discarded.size()
+                   << " queued job(s); a restart reports them interrupted";
+    }
+  } else {
+    queue_.close();  // workers drain the remaining queued jobs, then exit
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    std::lock_guard lock(mutex_);
+    stop_complete_ = true;
+  }
+  terminal_cv_.notify_all();
 }
 
 ServiceStats SanitizeService::stats() const {

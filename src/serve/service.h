@@ -53,8 +53,15 @@ struct ServiceConfig {
 
 struct SubmitResult {
   Admission admission = Admission::kAdmitted;
-  std::string id;  // set when admitted
+  std::string id;            // set when admitted (or deduplicated)
+  bool deduplicated = false; // an idempotent retry matched an existing job
 };
+
+/// How a stop winds down outstanding work. kDrain finishes every queued
+/// job before returning; kAbandon stops the workers after their current
+/// job, leaving queued jobs journaled as `queued` so a restart reports
+/// them `interrupted` — byte-identical to what a crash would leave.
+enum class StopMode { kDrain, kAbandon };
 
 enum class CancelOutcome {
   kCancelledQueued,  // removed before a worker picked it up
@@ -63,12 +70,21 @@ enum class CancelOutcome {
   kAlreadyTerminal,
 };
 
+/// Result of a bounded wait for a job's terminal state.
+enum class WaitOutcome {
+  kTerminal,  // the job reached done/failed/cancelled/interrupted
+  kTimeout,   // known job, still in flight when the budget expired
+  kUnknown,   // no such job id
+};
+const char* wait_outcome_name(WaitOutcome outcome);
+
 struct ServiceStats {
   std::int64_t submitted = 0;
   std::int64_t done = 0;
   std::int64_t failed = 0;
   std::int64_t cancelled = 0;
   std::int64_t interrupted = 0;  // loaded from a previous incarnation
+  std::int64_t deduplicated = 0; // idempotent retries matched to a job
   std::size_t queue_depth = 0;
   std::size_t running = 0;
   BackboneCacheStats cache;
@@ -98,15 +114,19 @@ class SanitizeService {
   /// All jobs in submit order, optionally filtered by tenant.
   std::vector<JobRecord> jobs(const std::string& tenant = "") const;
 
-  /// Blocks until `id` reaches a terminal state (false on timeout or
-  /// unknown id). timeout_seconds <= 0 waits forever.
-  bool wait(const std::string& id, double timeout_seconds = 0.0) const;
+  /// Blocks until `id` reaches a terminal state, the timeout expires, or
+  /// the service stops (reported as kTimeout so transport threads never
+  /// hang a shutdown). timeout_seconds <= 0 waits without a bound.
+  WaitOutcome wait(const std::string& id, double timeout_seconds = 0.0) const;
 
   /// Blocks until no job is queued or running.
   void drain() const;
 
-  /// Stops admission, drains queued jobs through the workers, joins them.
-  void stop();
+  /// Stops admission and joins the workers. kDrain finishes every queued
+  /// job first; kAbandon clears the queue (jobs stay journaled as
+  /// `queued`, so a restart reports them `interrupted` — exactly the
+  /// states a crash would have left).
+  void stop(StopMode mode = StopMode::kDrain);
 
   ServiceStats stats() const;
   std::map<std::string, std::size_t> tenant_load() const {
@@ -130,6 +150,10 @@ class SanitizeService {
   mutable runtime::OrderedMutex<runtime::LockRank::kServeService> mutex_;
   mutable std::condition_variable_any terminal_cv_;
   std::map<std::string, JobRecord> records_;  // id -> latest state
+  /// Idempotency index: "tenant|client_id" -> job id, rebuilt from the
+  /// journal on load (terminal jobs included, so a retry after restart
+  /// returns the finished job instead of re-enqueueing it).
+  std::map<std::string, std::string> dedup_;
   std::map<std::string, robust::CancelSource> cancels_;
   std::uint64_t next_id_ = 1;
   std::size_t running_ = 0;
@@ -138,6 +162,7 @@ class SanitizeService {
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopped_ = false;
+  bool stop_complete_ = false;  // workers joined; waiters must not block
 };
 
 }  // namespace bd::serve

@@ -1,0 +1,214 @@
+#include "serve/transport_tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/net.h"
+
+namespace bd::serve {
+
+namespace {
+
+/// Resolves the endpoint's host to an in_addr. `for_listen` maps the
+/// wildcard spellings to INADDR_ANY; clients map them to loopback.
+bool resolve_host(const std::string& host, bool for_listen, in_addr& out,
+                  std::string& error) {
+  if (host.empty() || host == "*" || host == "0.0.0.0") {
+    out.s_addr = htonl(for_listen ? INADDR_ANY : INADDR_LOOPBACK);
+    return true;
+  }
+  if (host == "localhost") {
+    out.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &out) == 1) return true;
+  error = "bad host '" + host + "' (use a dotted quad or 'localhost')";
+  return false;
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+}  // namespace
+
+bool parse_tcp_endpoint(const std::string& spec, TcpEndpoint& out,
+                        std::string& error) {
+  std::string host;
+  std::string port_text;
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    port_text = spec;  // bare "port"
+  } else {
+    host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  if (port_text.empty()) {
+    error = "bad endpoint '" + spec + "': missing port";
+    return false;
+  }
+  long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      error = "bad endpoint '" + spec + "': port is not a number";
+      return false;
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      error = "bad endpoint '" + spec + "': port out of range";
+      return false;
+    }
+  }
+  // Validate the host spelling eagerly so `bdctl serve --listen garbage:1`
+  // fails at flag parse, not at bind.
+  in_addr probe{};
+  if (!resolve_host(host, /*for_listen=*/true, probe, error)) return false;
+  out.host = host;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::open(const TcpEndpoint& endpoint, std::string& error) {
+  if (fd_ >= 0) {
+    error = "listener already open";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (!resolve_host(endpoint.host, /*for_listen=*/true, addr.sin_addr,
+                    error)) {
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  // Restart-after-drain must not lose the address to TIME_WAIT.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error = "bind(" + (endpoint.host.empty() ? "*" : endpoint.host) + ":" +
+            std::to_string(endpoint.port) + "): " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    error = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  port_ = endpoint.port != 0 ? endpoint.port : net::bound_port(fd);
+  return true;
+}
+
+int TcpListener::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int connect_tcp(const TcpEndpoint& endpoint, double timeout_seconds,
+                std::string& error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (!resolve_host(endpoint.host, /*for_listen=*/false, addr.sin_addr,
+                    error)) {
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  const std::string where = (endpoint.host.empty() ? "localhost"
+                                                   : endpoint.host) +
+                            ":" + std::to_string(endpoint.port);
+  // Non-blocking connect + poll: an unreachable peer costs the caller's
+  // budget, not the kernel's multi-minute SYN retry default.
+  if (!set_nonblocking(fd, true)) {
+    error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    error = "connect(" + where + "): " + std::strerror(errno) +
+            " (is the daemon running?)";
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int timeout_ms = -1;
+      if (timeout_seconds > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        const double left = timeout_seconds - elapsed.count();
+        timeout_ms = left <= 0.0 ? 0 : static_cast<int>(left * 1000.0) + 1;
+      }
+      const int n = ::poll(&pfd, 1, timeout_ms);
+      if (n > 0) break;
+      if (n == 0) {
+        error = "connect(" + where + "): timed out";
+        ::close(fd);
+        return -1;
+      }
+      if (errno == EINTR) continue;
+      error = std::string("poll(): ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      error = "connect(" + where + "): " +
+              std::strerror(soerr != 0 ? soerr : errno) +
+              " (is the daemon running?)";
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (!set_nonblocking(fd, false)) {
+    error = std::string("fcntl(~O_NONBLOCK): ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  // Request/response protocol: latency beats Nagle batching.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace bd::serve

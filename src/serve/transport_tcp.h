@@ -1,0 +1,65 @@
+// TCP transport for the serve protocol: endpoint grammar, listener and
+// deadline-bounded client connect.
+//
+// The daemon side is a plain listening socket (`--listen host:port`,
+// SO_REUSEADDR, port 0 = kernel-assigned, reported via port()); accepted
+// connections speak the exact same NDJSON protocol as the AF_UNIX path —
+// the transport feeds Protocol::handle_line unchanged, and all lifecycle
+// hardening (deadlines, caps, shedding, SIGPIPE-safe writes) lives in the
+// shared serve/net.h layer, so the two transports cannot drift apart.
+//
+// Endpoint grammar (shared with clients): "host:port" where host is an
+// IPv4 dotted quad, "localhost", or empty/"*"/"0.0.0.0" for any-address
+// listening. Clients resolve "localhost"/empty to 127.0.0.1. No DNS — the
+// daemon fronts a trusted LAN/loopback, and a resolver dependency would
+// buy nondeterminism for nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bd::serve {
+
+struct TcpEndpoint {
+  std::string host;  // dotted quad, "localhost", or "" (any/loopback)
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (also accepts ":port" and bare "port"). False with
+/// `error` set on a malformed spec; port 0 is legal for listeners only.
+bool parse_tcp_endpoint(const std::string& spec, TcpEndpoint& out,
+                        std::string& error);
+
+/// Listening TCP socket. Not copyable; closes on destruction unless
+/// release()d (the server takes ownership of the fd for its poll loop).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds + listens. False with `error` set when the address is taken or
+  /// malformed. Reopening an open listener is an error.
+  bool open(const TcpEndpoint& endpoint, std::string& error);
+
+  int fd() const { return fd_; }
+  /// The actual bound port (resolves a requested port of 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Hands the fd to the caller and forgets it.
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `endpoint` within `timeout_seconds` (non-blocking connect +
+/// poll, so an unreachable host costs the budget, not a kernel default of
+/// minutes). Returns a blocking-mode fd, or -1 with `error` set.
+int connect_tcp(const TcpEndpoint& endpoint, double timeout_seconds,
+                std::string& error);
+
+}  // namespace bd::serve

@@ -638,7 +638,8 @@ TEST_F(ServiceTest, CancelRunningJobViaExternalToken) {
   }
   ASSERT_EQ(record.state, JobState::kRunning);
   EXPECT_EQ(service.cancel(submitted.id), CancelOutcome::kSignalled);
-  ASSERT_TRUE(service.wait(submitted.id, /*timeout_seconds=*/30.0));
+  ASSERT_EQ(service.wait(submitted.id, /*timeout_seconds=*/30.0),
+            serve::WaitOutcome::kTerminal);
   ASSERT_TRUE(service.status(submitted.id, record));
   EXPECT_EQ(record.state, JobState::kCancelled);
   // Externally cancelled: no retry, no strike, counted as cancelled.
